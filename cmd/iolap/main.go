@@ -1,0 +1,357 @@
+// Command iolap runs a SQL query incrementally over one of the built-in
+// benchmark workloads (or CSV files) and streams the refined partial
+// results — the interactive experience of the paper's Section 1: an
+// approximate answer within the first batch, continuously refined, exact at
+// the end.
+//
+// Examples:
+//
+//	iolap -workload conviva -query C8
+//	iolap -workload tpch -query Q17 -batches 20 -trials 100
+//	iolap -workload conviva -sql "SELECT cdn, AVG(play_time) FROM conviva_sessions GROUP BY cdn" -stream conviva_sessions
+//	iolap -csv sessions=data.csv -stream sessions -sql "SELECT COUNT(*) FROM sessions"
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"iolap"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "built-in workload: tpch or conviva")
+		scale        = flag.Int("scale", 20000, "fact-table rows for the built-in workloads")
+		queryName    = flag.String("query", "", "built-in query name (Q1..Q22, C1..C12)")
+		sqlText      = flag.String("sql", "", "ad-hoc SQL text (alternative to -query)")
+		stream       = flag.String("stream", "", "table to stream (required with -sql)")
+		batches      = flag.Int("batches", 10, "mini-batch count p")
+		trials       = flag.Int("trials", 100, "bootstrap trials")
+		slack        = flag.Float64("slack", 2.0, "variation-range slack epsilon")
+		seed         = flag.Uint64("seed", 42, "random seed")
+		mode         = flag.String("mode", "iolap", "engine mode: iolap, opt1, hda")
+		csvSpec      = flag.String("csv", "", "load a CSV table: name=path (streamed via -stream)")
+		iolSpec      = flag.String("iol", "", "load a block table: name=path (written by datagen -format iol)")
+		stratify     = flag.String("stratify", "", "stratified batching column (each batch carries every stratum)")
+		showPlan     = flag.Bool("plan", false, "print the compiled online plan")
+		showStats    = flag.Bool("stats", false, "print per-operator statistics after each batch")
+		interactive  = flag.Bool("i", false, "interactive mode: read queries from stdin")
+		maxRows      = flag.Int("maxrows", 10, "result rows to display per update")
+	)
+	flag.Parse()
+	if *interactive {
+		session, _, err := buildSession(*workloadName, *scale, *seed, *csvSpec, *iolSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		opts := &iolap.Options{
+			Batches: *batches, Trials: *trials, Slack: *slack,
+			Seed: *seed, Stream: *stream, StratifyBy: *stratify,
+		}
+		if err := repl(session, opts, os.Stdin, os.Stdout, *maxRows); err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*workloadName, *scale, *queryName, *sqlText, *stream, *batches,
+		*trials, *slack, *seed, *mode, *csvSpec, *iolSpec, *stratify, *showPlan, *showStats, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "iolap:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSession constructs the session from workload/csv/iol flags.
+func buildSession(workloadName string, scale int, seed uint64, csvSpec, iolSpec string) (*iolap.Session, []iolap.BenchQuery, error) {
+	switch {
+	case csvSpec != "":
+		s := iolap.NewSession()
+		if err := loadCSV(s, csvSpec); err != nil {
+			return nil, nil, err
+		}
+		return s, nil, nil
+	case iolSpec != "":
+		s := iolap.NewSession()
+		if err := loadIOL(s, iolSpec); err != nil {
+			return nil, nil, err
+		}
+		return s, nil, nil
+	case workloadName == "tpch":
+		s, q := iolap.NewTPCHSession(scale, int64(seed))
+		return s, q, nil
+	case workloadName == "conviva":
+		s, q := iolap.NewConvivaSession(scale, int64(seed))
+		return s, q, nil
+	}
+	return nil, nil, fmt.Errorf("pick -workload tpch|conviva, -csv name=path, or -iol name=path")
+}
+
+// repl runs the interactive loop: each line is a SQL query executed
+// incrementally; backslash commands inspect the session.
+func repl(session *iolap.Session, opts *iolap.Options, in io.Reader, out io.Writer, maxRows int) error {
+	fmt.Fprintln(out, `iolap interactive: enter SQL, \tables, \stream <t>, \plan <sql>, or \q`)
+	// Default the streamed table when unambiguous.
+	if opts.Stream == "" {
+		if tables := session.Tables(); len(tables) == 1 {
+			opts.Stream = tables[0]
+		}
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "iolap> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return nil
+		case line == `\tables`:
+			for _, t := range session.Tables() {
+				n, _ := session.RowCount(t)
+				fmt.Fprintf(out, "  %s (%d rows)\n", t, n)
+			}
+			continue
+		case strings.HasPrefix(line, `\stream `):
+			opts.Stream = strings.TrimSpace(strings.TrimPrefix(line, `\stream `))
+			fmt.Fprintf(out, "streaming %q\n", opts.Stream)
+			continue
+		case strings.HasPrefix(line, `\plan `):
+			cur, err := session.Query(strings.TrimPrefix(line, `\plan `), opts)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, cur.Plan())
+			continue
+		}
+		cur, err := session.Query(line, opts)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		for cur.Next() {
+			u := cur.Update()
+			fmt.Fprintf(out, "batch %d/%d  %5.1f%%  rel-stdev %6.3f%%\n",
+				u.Batch, u.Batches, 100*u.Fraction, 100*u.MaxRelStdev())
+			printRowsTo(out, u, maxRows)
+		}
+		if err := cur.Err(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}
+
+func run(workloadName string, scale int, queryName, sqlText, stream string,
+	batches, trials int, slack float64, seed uint64, modeName, csvSpec, iolSpec, stratify string,
+	showPlan, showStats bool, maxRows int) error {
+	var session *iolap.Session
+	var queries []iolap.BenchQuery
+	switch {
+	case csvSpec != "":
+		s := iolap.NewSession()
+		if err := loadCSV(s, csvSpec); err != nil {
+			return err
+		}
+		session = s
+	case iolSpec != "":
+		s := iolap.NewSession()
+		if err := loadIOL(s, iolSpec); err != nil {
+			return err
+		}
+		session = s
+	case workloadName == "tpch":
+		session, queries = iolap.NewTPCHSession(scale, int64(seed))
+	case workloadName == "conviva":
+		session, queries = iolap.NewConvivaSession(scale, int64(seed))
+	default:
+		return fmt.Errorf("pick -workload tpch|conviva, -csv name=path, or -iol name=path")
+	}
+
+	query := sqlText
+	if queryName != "" {
+		found := false
+		for _, q := range queries {
+			if strings.EqualFold(q.Name, queryName) {
+				query = q.SQL
+				if stream == "" {
+					stream = q.Stream
+				}
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown query %q", queryName)
+		}
+	}
+	if query == "" {
+		return fmt.Errorf("provide -query or -sql")
+	}
+
+	var mode iolap.Mode
+	switch strings.ToLower(modeName) {
+	case "iolap":
+		mode = iolap.ModeIOLAP
+	case "opt1":
+		mode = iolap.ModeOPT1
+	case "hda":
+		mode = iolap.ModeHDA
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	cur, err := session.Query(query, &iolap.Options{
+		Mode: mode, Batches: batches, Trials: trials, Slack: slack,
+		Seed: seed, Stream: stream, StratifyBy: stratify,
+	})
+	if err != nil {
+		return err
+	}
+	if showPlan {
+		fmt.Println(cur.Plan())
+	}
+	for cur.Next() {
+		u := cur.Update()
+		fmt.Printf("batch %d/%d  %5.1f%% processed  %8.2f ms  rel-stdev %6.3f%%  recomputed %d\n",
+			u.Batch, u.Batches, 100*u.Fraction, u.DurationMillis,
+			100*u.MaxRelStdev(), u.Recomputed)
+		printRows(u, maxRows)
+		if showStats {
+			for _, st := range cur.OpStats() {
+				fmt.Printf("    [%-9s] news=%-7d unc=%-7d state=%dB\n",
+					st.Kind, st.News, st.Unc, st.StateBytes)
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	if n := cur.Recoveries(); n > 0 {
+		fmt.Printf("failure recoveries: %d\n", n)
+	}
+	return nil
+}
+
+func printRows(u *iolap.Update, maxRows int) { printRowsTo(os.Stdout, u, maxRows) }
+
+func printRowsTo(w io.Writer, u *iolap.Update, maxRows int) {
+	fmt.Fprintf(w, "  %s\n", strings.Join(u.Columns, " | "))
+	for i, row := range u.Rows {
+		if i >= maxRows {
+			fmt.Fprintf(w, "  ... (%d more rows)\n", len(u.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = fmt.Sprint(v)
+			if f, ok := v.(float64); ok {
+				cells[j] = strconv.FormatFloat(f, 'f', 3, 64)
+				if e := u.Estimates[i][j]; e.Stdev > 0 {
+					cells[j] += fmt.Sprintf(" ±%.3f", e.Stdev)
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(cells, " | "))
+	}
+}
+
+// loadIOL reads a "name=path" block table into the session.
+func loadIOL(s *iolap.Session, spec string) error {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-iol wants name=path, got %q", spec)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := s.LoadBlockTable(name, f, iolap.Streamed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d rows\n", name, n)
+	return nil
+}
+
+// loadCSV reads "name=path" into the session, sniffing column types from
+// the first data row (int, then float, else string). The first CSV row is
+// the header.
+func loadCSV(s *iolap.Session, spec string) error {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-csv wants name=path, got %q", spec)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) < 2 {
+		return fmt.Errorf("%s: need a header and at least one row", path)
+	}
+	header := records[0]
+	first := records[1]
+	cols := make([]iolap.Column, len(header))
+	kinds := make([]iolap.Type, len(header))
+	for i, h := range header {
+		kinds[i] = sniffType(first[i])
+		cols[i] = iolap.Column{Name: h, Type: kinds[i]}
+	}
+	if err := s.CreateTable(name, cols, iolap.Streamed); err != nil {
+		return err
+	}
+	rows := make([][]interface{}, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		row := make([]interface{}, len(rec))
+		for i, cell := range rec {
+			v, err := parseCell(cell, kinds[i])
+			if err != nil {
+				return fmt.Errorf("%s row %d col %s: %w", path, len(rows)+1, header[i], err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return s.Insert(name, rows)
+}
+
+func sniffType(cell string) iolap.Type {
+	if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return iolap.TInt
+	}
+	if _, err := strconv.ParseFloat(cell, 64); err == nil {
+		return iolap.TFloat
+	}
+	return iolap.TString
+}
+
+func parseCell(cell string, t iolap.Type) (interface{}, error) {
+	if cell == "" {
+		return nil, nil
+	}
+	switch t {
+	case iolap.TInt:
+		return strconv.ParseInt(cell, 10, 64)
+	case iolap.TFloat:
+		return strconv.ParseFloat(cell, 64)
+	default:
+		return cell, nil
+	}
+}

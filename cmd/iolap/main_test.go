@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iolap"
+)
+
+func TestSniffType(t *testing.T) {
+	cases := []struct {
+		cell string
+		want iolap.Type
+	}{
+		{"42", iolap.TInt},
+		{"-7", iolap.TInt},
+		{"3.14", iolap.TFloat},
+		{"1e3", iolap.TFloat},
+		{"hello", iolap.TString},
+		{"", iolap.TString},
+	}
+	for _, c := range cases {
+		if got := sniffType(c.cell); got != c.want {
+			t.Errorf("sniffType(%q) = %v, want %v", c.cell, got, c.want)
+		}
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	if v, err := parseCell("42", iolap.TInt); err != nil || v.(int64) != 42 {
+		t.Errorf("int: %v %v", v, err)
+	}
+	if v, err := parseCell("2.5", iolap.TFloat); err != nil || v.(float64) != 2.5 {
+		t.Errorf("float: %v %v", v, err)
+	}
+	if v, err := parseCell("x", iolap.TString); err != nil || v.(string) != "x" {
+		t.Errorf("string: %v %v", v, err)
+	}
+	if v, err := parseCell("", iolap.TInt); err != nil || v != nil {
+		t.Errorf("empty cell must be NULL: %v %v", v, err)
+	}
+	if _, err := parseCell("abc", iolap.TInt); err == nil {
+		t.Error("bad int must error")
+	}
+}
+
+func TestLoadCSVEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sessions.csv")
+	content := "session_id,buffer_time,play_time\n" +
+		"id1,36.0,238\n" +
+		"id2,58.5,135\n" +
+		"id3,17.25,617\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := iolap.NewSession()
+	if err := loadCSV(s, "sessions="+path); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Exec("SELECT COUNT(*) AS n, AVG(buffer_time) AS a FROM sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows[0][0].(float64) != 3 {
+		t.Errorf("count = %v", u.Rows[0][0])
+	}
+	want := (36.0 + 58.5 + 17.25) / 3
+	if got := u.Rows[0][1].(float64); got != want {
+		t.Errorf("avg = %v, want %v", got, want)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	s := iolap.NewSession()
+	if err := loadCSV(s, "missing-equals"); err == nil {
+		t.Error("malformed spec must fail")
+	}
+	if err := loadCSV(s, "t=/nonexistent/file.csv"); err == nil {
+		t.Error("missing file must fail")
+	}
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.csv")
+	os.WriteFile(short, []byte("only_header\n"), 0o644)
+	if err := loadCSV(s, "t="+short); err == nil {
+		t.Error("header-only file must fail")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("x\n1\nnotanint\n"), 0o644)
+	if err := loadCSV(s, "t2="+bad); err == nil {
+		t.Error("type mismatch must fail")
+	}
+}
+
+func TestRunWorkloadQuery(t *testing.T) {
+	// Smoke test: the CLI path end to end on a tiny built-in workload.
+	err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3); err == nil {
+		t.Error("missing workload/csv must fail")
+	}
+	if err := run("conviva", 200, "NOPE", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3); err == nil {
+		t.Error("unknown query must fail")
+	}
+	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "badmode", "", "", "", false, false, 3); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	session, _ := iolap.NewConvivaSession(200, 1)
+	opts := &iolap.Options{Batches: 2, Trials: 10, Seed: 1}
+	in := strings.NewReader("\\tables\n" +
+		"SELECT COUNT(*) AS n FROM conviva_sessions\n" +
+		"NOT SQL AT ALL\n" +
+		"\\stream conviva_sessions\n" +
+		"\\plan SELECT AVG(play_time) FROM conviva_sessions\n" +
+		"\\q\n")
+	var out bytes.Buffer
+	if err := repl(session, opts, in, &out, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"conviva_sessions (200 rows)", // \tables
+		"batch 2/2",                   // query ran to completion
+		"error:",                      // bad SQL surfaced, loop continued
+		"streaming",                   // \stream ack
+		"Aggregate",                   // \plan output
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+	// EOF without \q exits cleanly.
+	if err := repl(session, opts, strings.NewReader(""), &out, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package iolap_test
+
+import (
+	"fmt"
+
+	"iolap"
+)
+
+// The paper's running example: the Slow Buffering Impact query (Example 1)
+// over the six-row Sessions relation of Figure 2(b), processed in the same
+// two mini-batches the paper traces. Batch 1 delivers 135.0 — exactly the
+// value in Figure 4(e) — and batch 2 refines it to the exact answer.
+func ExampleSession_Query() {
+	s := iolap.NewSession()
+	s.MustCreateTable("sessions", []iolap.Column{
+		{Name: "session_id", Type: iolap.TString},
+		{Name: "buffer_time", Type: iolap.TFloat},
+		{Name: "play_time", Type: iolap.TFloat},
+	}, iolap.Streamed)
+	s.MustInsert("sessions", [][]interface{}{
+		{"id1", 36.0, 238.0},
+		{"id2", 58.0, 135.0},
+		{"id3", 17.0, 617.0},
+		{"id4", 56.0, 194.0},
+		{"id5", 19.0, 308.0},
+		{"id6", 26.0, 319.0},
+	})
+	cur, err := s.Query(`
+		SELECT AVG(play_time) AS avg_play
+		FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`,
+		&iolap.Options{Batches: 2, Trials: 100, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for cur.Next() {
+		u := cur.Update()
+		fmt.Printf("batch %d/%d: avg_play = %.2f\n", u.Batch, u.Batches, u.Rows[0][0])
+	}
+	// Output:
+	// batch 1/2: avg_play = 135.00
+	// batch 2/2: avg_play = 189.00
+}
+
+// Exec runs a query once, exactly — the traditional batch baseline.
+func ExampleSession_Exec() {
+	s := iolap.NewSession()
+	s.MustCreateTable("t", []iolap.Column{
+		{Name: "k", Type: iolap.TString},
+		{Name: "v", Type: iolap.TFloat},
+	}, iolap.Streamed)
+	s.MustInsert("t", [][]interface{}{
+		{"a", 1.0}, {"a", 3.0}, {"b", 10.0},
+	})
+	u, err := s.Exec("SELECT k, SUM(v) AS total FROM t GROUP BY k ORDER BY k")
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range u.Rows {
+		fmt.Printf("%s: %.0f\n", row[0], row[1])
+	}
+	// Output:
+	// a: 4
+	// b: 10
+}
+
+// RunUntil stops as soon as the bootstrap error estimate reaches a target —
+// the accuracy/latency trade-off the engine exists for.
+func ExampleCursor_RunUntil() {
+	s := iolap.NewSession()
+	s.MustCreateTable("t", []iolap.Column{{Name: "x", Type: iolap.TFloat}}, iolap.Streamed)
+	rows := make([][]interface{}, 4000)
+	for i := range rows {
+		rows[i] = []interface{}{float64(i%103) + 0.5}
+	}
+	s.MustInsert("t", rows)
+	cur, err := s.Query("SELECT AVG(x) AS m FROM t", &iolap.Options{
+		Batches: 40, Trials: 100, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	u, err := cur.RunUntil(0.02) // stop at 2% relative stdev
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stopped early: %v\n", u.Fraction < 1)
+	fmt.Printf("within target: %v\n", u.MaxRelStdev() <= 0.02)
+	// Output:
+	// stopped early: true
+	// within target: true
+}

@@ -1,0 +1,65 @@
+// Conviva example: the accuracy/latency trade-off of Figure 7(a) on the
+// video-quality workload, with early stopping — run C8 (a UDAF over the
+// slow-buffering filter) and stop as soon as the bootstrap error estimate
+// crosses the target, the way an interactive analyst would.
+//
+//	go run ./examples/conviva
+//	go run ./examples/conviva -target 0.005 -scale 30000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"iolap"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 20000, "session rows")
+		target = flag.Float64("target", 0.02, "stop when relative stdev falls below this")
+	)
+	flag.Parse()
+
+	session, queries := iolap.NewConvivaSession(*scale, 11)
+	var c8 iolap.BenchQuery
+	for _, q := range queries {
+		if q.Name == "C8" {
+			c8 = q
+		}
+	}
+	fmt.Printf("Conviva C8 (geometric mean of play time over slow-buffering sessions):\n%s\n\n", c8.SQL)
+
+	cur, err := session.Query(c8.SQL, &iolap.Options{
+		Batches: 40, Trials: 100, Seed: 3, Stream: c8.Stream,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cumMs float64
+	var stopped bool
+	var answerAtStop float64
+	var stopMs float64
+	for cur.Next() {
+		u := cur.Update()
+		cumMs += u.DurationMillis
+		rsd := u.MaxRelStdev()
+		fmt.Printf("batch %2d  %5.1f%%  t=%8.2f ms  g_play=%8.2f  rel-stdev=%6.3f%%\n",
+			u.Batch, 100*u.Fraction, cumMs, u.Rows[0][0].(float64), 100*rsd)
+		if !stopped && rsd > 0 && rsd < *target {
+			stopped = true
+			answerAtStop = u.Rows[0][0].(float64)
+			stopMs = cumMs
+			fmt.Printf("          ^ error below %.1f%% — an interactive user stops HERE\n", 100**target)
+			// Keep going to show the full curve and measure the speedup.
+		}
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if stopped {
+		fmt.Printf("\nearly stop: %.2f after %.1f ms vs exact run %.1f ms — %.1fx faster\n",
+			answerAtStop, stopMs, cumMs, cumMs/stopMs)
+	}
+}

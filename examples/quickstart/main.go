@@ -1,0 +1,80 @@
+// Quickstart: the paper's running example (Example 1, "Slow Buffering
+// Impact") on a small synthetic sessions table. The query asks how
+// longer-than-average buffering impacts watch time — a nested aggregate
+// query that classical delta processing cannot maintain incrementally.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"iolap"
+)
+
+func main() {
+	s := iolap.NewSession()
+	s.MustCreateTable("sessions", []iolap.Column{
+		{Name: "session_id", Type: iolap.TString},
+		{Name: "buffer_time", Type: iolap.TFloat},
+		{Name: "play_time", Type: iolap.TFloat},
+	}, iolap.Streamed)
+
+	// Synthesise 50k sessions: heavy-tailed buffering, play time dropping
+	// as buffering grows.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]interface{}, 50_000)
+	for i := range rows {
+		bt := 12 + rng.ExpFloat64()*20
+		pt := 420 - 3*bt + rng.NormFloat64()*80
+		if pt < 5 {
+			pt = 5
+		}
+		rows[i] = []interface{}{fmt.Sprintf("id%06d", i), bt, pt}
+	}
+	s.MustInsert("sessions", rows)
+
+	// The SBI query (paper Example 1).
+	cur, err := s.Query(`
+		SELECT AVG(play_time) AS avg_play_time
+		FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`,
+		&iolap.Options{Batches: 10, Trials: 100, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Slow Buffering Impact — average watch time of sessions that")
+	fmt.Println("buffer longer than average, refined batch by batch:")
+	fmt.Println()
+	noted := false
+	for cur.Next() {
+		u := cur.Update()
+		est := u.Estimates[0][0]
+		fmt.Printf("batch %2d/%d  %5.1f%% of data  %8.2f ms  avg_play_time = %7.2f  (95%% CI [%.2f, %.2f], ±%.2f%%)\n",
+			u.Batch, u.Batches, 100*u.Fraction, u.DurationMillis,
+			u.Rows[0][0].(float64), est.CILo, est.CIHi, 100*est.RelStd)
+		// A user happy with 1% relative error could stop here:
+		if !noted && u.MaxRelStdev() < 0.01 && u.Fraction < 1 {
+			noted = true
+			fmt.Printf("        ^ already within 1%% after %.0f%% of the data — "+
+				"an interactive user could stop now\n", 100*u.Fraction)
+		}
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// And the exact baseline for comparison.
+	exact, err := s.Exec(`
+		SELECT AVG(play_time) AS avg_play_time
+		FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact batch answer: %.2f (the final incremental batch matches it exactly)\n",
+		exact.Rows[0][0].(float64))
+}

@@ -1,0 +1,3 @@
+module iolap
+
+go 1.22

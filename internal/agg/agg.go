@@ -1,0 +1,419 @@
+// Package agg implements aggregate functions and their sketch accumulators.
+//
+// An aggregate's running state over the certain part of its input is a
+// sketch (Section 4.2: "any aggregate function that can be computed using
+// sub-linear space can maintain the state of AGGREGATE space-efficiently
+// using sketches"). Every aggregate instance additionally maintains B
+// bootstrap replicate accumulators fed with Poisson(1) weights, which is the
+// piggybacked bootstrap of Appendix C.
+//
+// Scaling semantics (Section 2): the partial result at batch i is
+// Q(D_i, m_i) with m_i = |D|/|D_i|. Sketches hold raw (unscaled)
+// accumulations; extensive aggregates (SUM, COUNT) multiply by the current
+// scale when read, intensive ones (AVG, VAR, ...) are scale-free, so the
+// changing m_i never forces sketch rebuilds.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// Accumulator is the incremental state of one aggregate over one group.
+type Accumulator interface {
+	// Add folds in one value with the given weight (tuple multiplicity,
+	// possibly multiplied by a bootstrap Poisson weight).
+	Add(v float64, weight float64)
+	// Sub removes a previously added value; used when a recomputed
+	// non-deterministic contribution is retracted between batches.
+	Sub(v float64, weight float64)
+	// Result reads the raw aggregate given the extensive scale factor.
+	Result(scale float64) float64
+	// Merge folds another accumulator of the same type into this one.
+	Merge(o Accumulator)
+	// Clone deep-copies the accumulator (state snapshots).
+	Clone() Accumulator
+	// Reset returns the accumulator to its zero state (scratch reuse).
+	Reset()
+	// SizeBytes estimates the in-memory footprint.
+	SizeBytes() int
+}
+
+// Func describes an aggregate function.
+type Func struct {
+	Name string
+	// TakesArg is false for COUNT(*).
+	TakesArg bool
+	// Smooth marks Hadamard-differentiable aggregates whose bootstrap
+	// error estimates are valid under sampling (Section 3.3). MIN/MAX are
+	// not smooth; they are supported exactly but get one-sided monotone
+	// variation ranges instead of bootstrap ranges.
+	Smooth bool
+	// Invertible marks aggregates whose Sub is exact, allowing retraction
+	// without rebuilds (SUM/COUNT/AVG/VAR yes, MIN/MAX no).
+	Invertible bool
+	// AcceptsAny marks aggregates whose argument may be non-numeric
+	// (COUNT(DISTINCT x)); callers feed rel.Value.NumericKey instead of
+	// skipping non-numeric inputs.
+	AcceptsAny bool
+	// New allocates a fresh accumulator.
+	New func() Accumulator
+}
+
+// Registry maps aggregate names to implementations; it is preloaded with the
+// builtins and accepts UDAF registrations (paper Section 1, workload C8-C10).
+type Registry struct {
+	mu  sync.RWMutex
+	fns map[string]*Func
+}
+
+// NewRegistry returns a registry with the builtin aggregates.
+func NewRegistry() *Registry {
+	r := &Registry{fns: make(map[string]*Func)}
+	for _, f := range builtinAggs() {
+		f := f
+		r.fns[f.Name] = &f
+	}
+	return r
+}
+
+// Register installs a user-defined aggregate function (UDAF).
+func (r *Registry) Register(f Func) error {
+	if f.Name == "" || f.New == nil {
+		return fmt.Errorf("agg: invalid aggregate registration %q", f.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[strings.ToUpper(f.Name)] = &f
+	return nil
+}
+
+// Lookup finds an aggregate by (case-insensitive) name.
+func (r *Registry) Lookup(name string) (*Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.fns[strings.ToUpper(name)]
+	return f, ok
+}
+
+// ---------------------------------------------------------------------------
+// Builtin accumulators
+
+// sumAcc accumulates a weighted sum; COUNT is a sum of weights.
+type sumAcc struct{ sum float64 }
+
+func (a *sumAcc) Add(v, w float64)             { a.sum += v * w }
+func (a *sumAcc) Sub(v, w float64)             { a.sum -= v * w }
+func (a *sumAcc) Result(scale float64) float64 { return a.sum * scale }
+func (a *sumAcc) Merge(o Accumulator)          { a.sum += o.(*sumAcc).sum }
+func (a *sumAcc) Clone() Accumulator           { c := *a; return &c }
+func (a *sumAcc) Reset()                       { a.sum = 0 }
+func (a *sumAcc) SizeBytes() int               { return 16 }
+
+type countAcc struct{ n float64 }
+
+func (a *countAcc) Add(_, w float64)             { a.n += w }
+func (a *countAcc) Sub(_, w float64)             { a.n -= w }
+func (a *countAcc) Result(scale float64) float64 { return a.n * scale }
+func (a *countAcc) Merge(o Accumulator)          { a.n += o.(*countAcc).n }
+func (a *countAcc) Clone() Accumulator           { c := *a; return &c }
+func (a *countAcc) Reset()                       { a.n = 0 }
+func (a *countAcc) SizeBytes() int               { return 16 }
+
+// avgAcc is scale-free: sum/count cancels m_i.
+type avgAcc struct{ sum, n float64 }
+
+func (a *avgAcc) Add(v, w float64) { a.sum += v * w; a.n += w }
+func (a *avgAcc) Sub(v, w float64) { a.sum -= v * w; a.n -= w }
+func (a *avgAcc) Result(float64) float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sum / a.n
+}
+func (a *avgAcc) Merge(o Accumulator) {
+	b := o.(*avgAcc)
+	a.sum += b.sum
+	a.n += b.n
+}
+func (a *avgAcc) Clone() Accumulator { c := *a; return &c }
+func (a *avgAcc) Reset()             { a.sum, a.n = 0, 0 }
+func (a *avgAcc) SizeBytes() int     { return 24 }
+
+// varAcc computes the weighted population variance (scale-free).
+type varAcc struct{ sum, sumSq, n float64 }
+
+func (a *varAcc) Add(v, w float64) { a.sum += v * w; a.sumSq += v * v * w; a.n += w }
+func (a *varAcc) Sub(v, w float64) { a.sum -= v * w; a.sumSq -= v * v * w; a.n -= w }
+func (a *varAcc) Result(float64) float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	m := a.sum / a.n
+	v := a.sumSq/a.n - m*m
+	if v < 0 {
+		v = 0 // numerical floor
+	}
+	return v
+}
+func (a *varAcc) Merge(o Accumulator) {
+	b := o.(*varAcc)
+	a.sum += b.sum
+	a.sumSq += b.sumSq
+	a.n += b.n
+}
+func (a *varAcc) Clone() Accumulator { c := *a; return &c }
+func (a *varAcc) Reset()             { a.sum, a.sumSq, a.n = 0, 0, 0 }
+func (a *varAcc) SizeBytes() int     { return 32 }
+
+type stddevAcc struct{ varAcc }
+
+func (a *stddevAcc) Result(scale float64) float64 {
+	return math.Sqrt(a.varAcc.Result(scale))
+}
+func (a *stddevAcc) Merge(o Accumulator) { a.varAcc.Merge(&o.(*stddevAcc).varAcc) }
+func (a *stddevAcc) Clone() Accumulator  { c := *a; return &c }
+
+// minAcc / maxAcc are exact but non-invertible and non-smooth.
+type minAcc struct {
+	val float64
+	set bool
+}
+
+func (a *minAcc) Add(v, w float64) {
+	if w <= 0 {
+		return
+	}
+	if !a.set || v < a.val {
+		a.val = v
+		a.set = true
+	}
+}
+func (a *minAcc) Sub(float64, float64) {
+	panic("agg: MIN does not support retraction")
+}
+func (a *minAcc) Result(float64) float64 {
+	if !a.set {
+		return math.NaN()
+	}
+	return a.val
+}
+func (a *minAcc) Merge(o Accumulator) {
+	b := o.(*minAcc)
+	if b.set {
+		a.Add(b.val, 1)
+	}
+}
+func (a *minAcc) Clone() Accumulator { c := *a; return &c }
+func (a *minAcc) Reset()             { a.val, a.set = 0, false }
+func (a *minAcc) SizeBytes() int     { return 16 }
+
+type maxAcc struct {
+	val float64
+	set bool
+}
+
+func (a *maxAcc) Add(v, w float64) {
+	if w <= 0 {
+		return
+	}
+	if !a.set || v > a.val {
+		a.val = v
+		a.set = true
+	}
+}
+func (a *maxAcc) Sub(float64, float64) {
+	panic("agg: MAX does not support retraction")
+}
+func (a *maxAcc) Result(float64) float64 {
+	if !a.set {
+		return math.NaN()
+	}
+	return a.val
+}
+func (a *maxAcc) Merge(o Accumulator) {
+	b := o.(*maxAcc)
+	if b.set {
+		a.Add(b.val, 1)
+	}
+}
+func (a *maxAcc) Clone() Accumulator { c := *a; return &c }
+func (a *maxAcc) Reset()             { a.val, a.set = 0, false }
+func (a *maxAcc) SizeBytes() int     { return 16 }
+
+// distinctAcc counts distinct (numeric) values exactly. It is not smooth
+// (bootstrap resampling biases distinct counts) and its result does not
+// scale with m_i: COUNT(DISTINCT x) on a partial prefix reports the
+// distinct values seen so far, an exact answer about D_i.
+type distinctAcc struct {
+	seen map[float64]struct{}
+}
+
+func (a *distinctAcc) Add(v, w float64) {
+	if w <= 0 {
+		return
+	}
+	if a.seen == nil {
+		a.seen = make(map[float64]struct{})
+	}
+	a.seen[v] = struct{}{}
+}
+func (a *distinctAcc) Sub(float64, float64) {
+	panic("agg: COUNT(DISTINCT) does not support retraction")
+}
+func (a *distinctAcc) Result(float64) float64 { return float64(len(a.seen)) }
+func (a *distinctAcc) Merge(o Accumulator) {
+	b := o.(*distinctAcc)
+	for v := range b.seen {
+		a.Add(v, 1)
+	}
+}
+func (a *distinctAcc) Clone() Accumulator {
+	c := &distinctAcc{}
+	if a.seen != nil {
+		c.seen = make(map[float64]struct{}, len(a.seen))
+		for v := range a.seen {
+			c.seen[v] = struct{}{}
+		}
+	}
+	return c
+}
+func (a *distinctAcc) Reset()         { a.seen = nil }
+func (a *distinctAcc) SizeBytes() int { return 48 + 16*len(a.seen) }
+
+func builtinAggs() []Func {
+	return []Func{
+		{Name: "SUM", TakesArg: true, Smooth: true, Invertible: true,
+			New: func() Accumulator { return &sumAcc{} }},
+		{Name: "COUNT", TakesArg: false, Smooth: true, Invertible: true,
+			AcceptsAny: true, // COUNT(expr) counts non-NULL rows of any type
+			New:        func() Accumulator { return &countAcc{} }},
+		{Name: "AVG", TakesArg: true, Smooth: true, Invertible: true,
+			New: func() Accumulator { return &avgAcc{} }},
+		{Name: "VAR", TakesArg: true, Smooth: true, Invertible: true,
+			New: func() Accumulator { return &varAcc{} }},
+		{Name: "STDDEV", TakesArg: true, Smooth: true, Invertible: true,
+			New: func() Accumulator { return &stddevAcc{} }},
+		{Name: "MIN", TakesArg: true, Smooth: false, Invertible: false,
+			New: func() Accumulator { return &minAcc{} }},
+		{Name: "COUNTD", TakesArg: true, Smooth: false, Invertible: false,
+			AcceptsAny: true,
+			New:        func() Accumulator { return &distinctAcc{} }},
+		{Name: "MAX", TakesArg: true, Smooth: false, Invertible: false,
+			New: func() Accumulator { return &maxAcc{} }},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replicate vectors
+
+// Vector bundles the main accumulator with B bootstrap replicate
+// accumulators for one (aggregate, group) pair.
+type Vector struct {
+	Fn   *Func
+	Main Accumulator
+	Reps []Accumulator
+}
+
+// NewVector allocates a vector with the given replicate count.
+func NewVector(fn *Func, trials int) *Vector {
+	v := &Vector{Fn: fn, Main: fn.New(), Reps: make([]Accumulator, trials)}
+	for i := range v.Reps {
+		v.Reps[i] = fn.New()
+	}
+	return v
+}
+
+// Add folds one input value: mult into the main accumulator, mult times the
+// Poisson weight into each replicate. poisson may be nil for inputs from
+// non-streamed relations (constant weight 1 per trial).
+func (v *Vector) Add(val, mult float64, poisson []float64) {
+	v.Main.Add(val, mult)
+	for b, acc := range v.Reps {
+		w := mult
+		if poisson != nil {
+			w *= poisson[b]
+		}
+		acc.Add(val, w)
+	}
+}
+
+// AddRep folds a value whose replicates differ per trial (the aggregated
+// column itself is uncertain): vals[b] is the b-th replicate input value.
+func (v *Vector) AddRep(val float64, vals []float64, mult float64, poisson []float64) {
+	v.Main.Add(val, mult)
+	for b, acc := range v.Reps {
+		w := mult
+		if poisson != nil {
+			w *= poisson[b]
+		}
+		x := val
+		if b < len(vals) {
+			x = vals[b]
+		}
+		acc.Add(x, w)
+	}
+}
+
+// Sub retracts a previously added value (invertible aggregates only).
+func (v *Vector) Sub(val, mult float64, poisson []float64) {
+	v.Main.Sub(val, mult)
+	for b, acc := range v.Reps {
+		w := mult
+		if poisson != nil {
+			w *= poisson[b]
+		}
+		acc.Sub(val, w)
+	}
+}
+
+// Merge folds another vector (same function, same trial count).
+func (v *Vector) Merge(o *Vector) {
+	v.Main.Merge(o.Main)
+	for b := range v.Reps {
+		v.Reps[b].Merge(o.Reps[b])
+	}
+}
+
+// Result reads the running value under the given extensive scale.
+func (v *Vector) Result(scale float64) float64 { return v.Main.Result(scale) }
+
+// RepResults reads all replicate values under the given scale into dst
+// (allocated when nil).
+func (v *Vector) RepResults(scale float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(v.Reps))
+	}
+	for b, acc := range v.Reps {
+		dst[b] = acc.Result(scale)
+	}
+	return dst
+}
+
+// Reset zeroes every accumulator for scratch reuse across batches.
+func (v *Vector) Reset() {
+	v.Main.Reset()
+	for _, r := range v.Reps {
+		r.Reset()
+	}
+}
+
+// Clone deep-copies the vector (snapshot support).
+func (v *Vector) Clone() *Vector {
+	c := &Vector{Fn: v.Fn, Main: v.Main.Clone(), Reps: make([]Accumulator, len(v.Reps))}
+	for i, r := range v.Reps {
+		c.Reps[i] = r.Clone()
+	}
+	return c
+}
+
+// SizeBytes estimates the vector's footprint.
+func (v *Vector) SizeBytes() int {
+	n := 48 + v.Main.SizeBytes()
+	for _, r := range v.Reps {
+		n += r.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,191 @@
+// Package bootstrap implements the poissonized bootstrap error estimation
+// iOLAP piggybacks on query execution (Section 2 and Appendix C), and the
+// variation-range machinery (Section 5.1) that turns replicate spreads into
+// the non-deterministic / near-deterministic dichotomy.
+//
+// Each streamed tuple is assigned a vector of B i.i.d. Poisson(1) weights;
+// every aggregate maintains B weighted replicate accumulators alongside the
+// running value, so each replicate simulates one bootstrap trial (resampling
+// |D_i| tuples with replacement from D_i).
+package bootstrap
+
+import (
+	"math"
+	"sort"
+)
+
+// splitmix64 advances a SplitMix64 state and returns the next output. It is
+// a small, fast, well-distributed PRNG used to derive per-tuple weight
+// vectors deterministically from (seed, tupleIndex, trial).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform maps a 64-bit state to (0,1).
+func uniform(x uint64) float64 {
+	u := splitmix64(x)
+	return (float64(u>>11) + 0.5) / (1 << 53)
+}
+
+// PoissonSource derives deterministic Poisson(1) weight vectors. The same
+// (seed, index) always yields the same vector, which keeps every engine mode
+// and the failure-recovery replay bit-for-bit reproducible.
+type PoissonSource struct {
+	seed   uint64
+	trials int
+}
+
+// NewPoissonSource returns a source producing vectors of the given number of
+// bootstrap trials.
+func NewPoissonSource(seed uint64, trials int) *PoissonSource {
+	if trials <= 0 {
+		panic("bootstrap: trials must be positive")
+	}
+	return &PoissonSource{seed: seed, trials: trials}
+}
+
+// Trials returns the replicate count B.
+func (p *PoissonSource) Trials() int { return p.trials }
+
+// Weights returns the Poisson(1) weight vector for the tuple with the given
+// global index. The returned slice is freshly allocated. Each tuple gets an
+// independent SplitMix64 stream seeded from (seed, index); draws within the
+// vector advance the stream sequentially, which keeps the generator
+// deterministic while costing one mix per uniform.
+func (p *PoissonSource) Weights(index uint64) []float64 {
+	w := make([]float64, p.trials)
+	state := splitmix64(p.seed ^ index*0x9e3779b97f4a7c15)
+	for b := range w {
+		w[b] = float64(poisson1(&state))
+	}
+	return w
+}
+
+// poisson1 draws one Poisson(1) variate via Knuth's method, advancing the
+// stream state. With lambda=1, e^-1 ~= 0.3679 and the loop runs ~2
+// iterations in expectation.
+func poisson1(state *uint64) int {
+	const expNeg1 = 0.36787944117144233
+	k := 0
+	prod := 1.0
+	for {
+		*state += 0x9e3779b97f4a7c15
+		z := *state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		prod *= (float64(z>>11) + 0.5) / (1 << 53)
+		if prod <= expNeg1 {
+			return k
+		}
+		k++
+		if k > 64 { // numerically impossible tail guard
+			return k
+		}
+	}
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stdev returns the sample standard deviation of xs (0 for <2 points).
+func Stdev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MinMax returns the extrema of xs; it panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("bootstrap: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs by linear interpolation on
+// a sorted copy; it panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("bootstrap: Quantile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted interpolates a quantile over pre-sorted data.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Estimate summarises one uncertain value's bootstrap distribution.
+type Estimate struct {
+	Value  float64 // running value on D_i
+	Stdev  float64 // bootstrap standard deviation
+	CILo   float64 // 95% percentile confidence interval
+	CIHi   float64
+	RelStd float64 // relative standard deviation |stdev/value|
+}
+
+// Summarize computes an Estimate from the running value and its replicate
+// outputs (one sort shared by both confidence bounds).
+func Summarize(value float64, reps []float64) Estimate {
+	e := Estimate{Value: value}
+	if len(reps) == 0 {
+		return e
+	}
+	e.Stdev = Stdev(reps)
+	sorted := make([]float64, len(reps))
+	copy(sorted, reps)
+	sort.Float64s(sorted)
+	e.CILo = quantileSorted(sorted, 0.025)
+	e.CIHi = quantileSorted(sorted, 0.975)
+	if value != 0 {
+		e.RelStd = math.Abs(e.Stdev / value)
+	} else {
+		e.RelStd = e.Stdev
+	}
+	return e
+}

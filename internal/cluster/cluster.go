@@ -1,0 +1,191 @@
+// Package cluster is the execution substrate standing in for the paper's
+// Spark deployment (20 r3.2xlarge machines): an in-process partitioned
+// runtime with a worker pool, data partitioning utilities (including the
+// random pre-shuffle tool of Section 2), and exchange accounting that
+// records how many bytes a real deployment would ship over the network —
+// the "data shipped at query time" metric of Figures 9(c) and 10(d).
+//
+// The algorithms in internal/core do not depend on real network transport:
+// operator state, delta updates and lineage are machine-local concepts in
+// the mini-batch model (Section 7), so a faithful single-process runtime
+// preserves every behaviour the evaluation measures except absolute wall
+// clock.
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"iolap/internal/rel"
+)
+
+// Pool is a bounded worker pool for partition-parallel execution.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given parallelism; n <= 0 selects
+// GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for i in [0, n) on the pool and blocks until all complete.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Partition splits a relation into p partitions round-robin (block-wise
+// assignment is what the paper's default block randomness gives; callers
+// that need value-hash partitioning use PartitionByKey).
+func Partition(r *rel.Relation, p int) []*rel.Relation {
+	if p <= 0 {
+		p = 1
+	}
+	out := make([]*rel.Relation, p)
+	for i := range out {
+		out[i] = rel.NewRelation(r.Schema)
+	}
+	for i, t := range r.Tuples {
+		out[i%p].Tuples = append(out[i%p].Tuples, t)
+	}
+	return out
+}
+
+// PartitionByKey splits a relation into p partitions by hashing the given
+// key columns, the placement a distributed shuffle would produce.
+func PartitionByKey(r *rel.Relation, keys []int, p int) []*rel.Relation {
+	if p <= 0 {
+		p = 1
+	}
+	out := make([]*rel.Relation, p)
+	for i := range out {
+		out[i] = rel.NewRelation(r.Schema)
+	}
+	for _, t := range r.Tuples {
+		h := fnv1a(rel.EncodeKey(t.Vals, keys))
+		out[h%uint64(p)].Tuples = append(out[h%uint64(p)].Tuples, t)
+	}
+	return out
+}
+
+func fnv1a(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Shuffle returns a deterministic pseudo-random permutation of the
+// relation's tuples — the pre-processing tool the paper offers when block
+// randomness does not hold (Section 2: "iOLAP also provides data
+// pre-processing tools to randomly shuffle the entire input dataset").
+func Shuffle(r *rel.Relation, seed uint64) *rel.Relation {
+	out := rel.NewRelation(r.Schema)
+	out.Tuples = make([]rel.Tuple, len(r.Tuples))
+	copy(out.Tuples, r.Tuples)
+	// Fisher-Yates with a SplitMix64-derived stream.
+	state := seed
+	nextU64 := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := len(out.Tuples) - 1; i > 0; i-- {
+		j := int(nextU64() % uint64(i+1))
+		out.Tuples[i], out.Tuples[j] = out.Tuples[j], out.Tuples[i]
+	}
+	return out
+}
+
+// Metrics accumulates exchange traffic. All methods are safe for concurrent
+// use.
+type Metrics struct {
+	shuffleBytes   atomic.Int64
+	broadcastBytes atomic.Int64
+	shuffleRows    atomic.Int64
+}
+
+// RecordShuffle notes bytes that a hash repartition would ship.
+func (m *Metrics) RecordShuffle(r *rel.Relation) {
+	if m == nil {
+		return
+	}
+	m.shuffleBytes.Add(int64(r.SizeBytes()))
+	m.shuffleRows.Add(int64(r.Len()))
+}
+
+// RecordShuffleBytes notes raw shuffle bytes.
+func (m *Metrics) RecordShuffleBytes(n int) {
+	if m == nil {
+		return
+	}
+	m.shuffleBytes.Add(int64(n))
+}
+
+// RecordBroadcast notes bytes that a broadcast join would replicate to every
+// worker (counted once; the per-worker fan-out is a constant factor).
+func (m *Metrics) RecordBroadcast(r *rel.Relation) {
+	if m == nil {
+		return
+	}
+	m.broadcastBytes.Add(int64(r.SizeBytes()))
+}
+
+// ShuffleBytes returns total shuffled bytes.
+func (m *Metrics) ShuffleBytes() int64 { return m.shuffleBytes.Load() }
+
+// BroadcastBytes returns total broadcast bytes.
+func (m *Metrics) BroadcastBytes() int64 { return m.broadcastBytes.Load() }
+
+// ShuffleRows returns total shuffled physical rows.
+func (m *Metrics) ShuffleRows() int64 { return m.shuffleRows.Load() }
+
+// TotalBytes returns all bytes shipped.
+func (m *Metrics) TotalBytes() int64 { return m.ShuffleBytes() + m.BroadcastBytes() }
+
+// Reset zeroes the counters.
+func (m *Metrics) Reset() {
+	m.shuffleBytes.Store(0)
+	m.broadcastBytes.Store(0)
+	m.shuffleRows.Store(0)
+}

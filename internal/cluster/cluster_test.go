@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"iolap/internal/rel"
+)
+
+func intRel(n int) *rel.Relation {
+	r := rel.NewRelation(rel.Schema{{Name: "x", Type: rel.KInt}})
+	for i := 0; i < n; i++ {
+		r.Append(rel.Int(int64(i)))
+	}
+	return r
+}
+
+func TestPoolMapRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		var count atomic.Int64
+		seen := make([]atomic.Bool, 100)
+		p.Map(100, func(i int) {
+			count.Add(1)
+			seen[i].Store(true)
+		})
+		if count.Load() != 100 {
+			t.Errorf("workers=%d: ran %d tasks, want 100", workers, count.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Errorf("workers=%d: task %d not run", workers, i)
+			}
+		}
+	}
+}
+
+func TestPoolMapZeroAndDefaults(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() <= 0 {
+		t.Error("default pool must have positive parallelism")
+	}
+	p.Map(0, func(int) { t.Error("no tasks expected") })
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	parts := Partition(intRel(10), 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != 10 {
+		t.Errorf("partition lost tuples: %d", total)
+	}
+	if parts[0].Len() != 4 || parts[1].Len() != 3 || parts[2].Len() != 3 {
+		t.Errorf("round-robin sizes = %d,%d,%d", parts[0].Len(), parts[1].Len(), parts[2].Len())
+	}
+	if got := Partition(intRel(5), 0); len(got) != 1 {
+		t.Error("p<=0 collapses to one partition")
+	}
+}
+
+func TestPartitionByKeyIsDeterministicAndComplete(t *testing.T) {
+	r := intRel(100)
+	a := PartitionByKey(r, []int{0}, 4)
+	b := PartitionByKey(r, []int{0}, 4)
+	total := 0
+	for i := range a {
+		total += a[i].Len()
+		if a[i].Len() != b[i].Len() {
+			t.Error("hash partitioning must be deterministic")
+		}
+	}
+	if total != 100 {
+		t.Errorf("lost tuples: %d", total)
+	}
+	// Same key lands in the same partition.
+	dup := rel.NewRelation(r.Schema)
+	dup.Append(rel.Int(7))
+	dup.Append(rel.Int(7))
+	parts := PartitionByKey(dup, []int{0}, 8)
+	nonEmpty := 0
+	for _, p := range parts {
+		if p.Len() > 0 {
+			nonEmpty++
+			if p.Len() != 2 {
+				t.Error("equal keys must colocate")
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Error("equal keys split across partitions")
+	}
+}
+
+func TestShuffleIsPermutationAndDeterministic(t *testing.T) {
+	r := intRel(50)
+	s1 := Shuffle(r, 42)
+	s2 := Shuffle(r, 42)
+	s3 := Shuffle(r, 43)
+	if !rel.EqualBag(r, s1, 0) {
+		t.Error("shuffle must be a permutation")
+	}
+	same := true
+	diff43 := false
+	for i := range s1.Tuples {
+		if s1.Tuples[i].Vals[0].Int() != s2.Tuples[i].Vals[0].Int() {
+			same = false
+		}
+		if s1.Tuples[i].Vals[0].Int() != s3.Tuples[i].Vals[0].Int() {
+			diff43 = true
+		}
+	}
+	if !same {
+		t.Error("same seed must give same permutation")
+	}
+	if !diff43 {
+		t.Error("different seeds should differ")
+	}
+	// Original untouched.
+	if r.Tuples[0].Vals[0].Int() != 0 {
+		t.Error("Shuffle must not mutate its input")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	var m Metrics
+	r := intRel(10)
+	m.RecordShuffle(r)
+	m.RecordBroadcast(r)
+	m.RecordShuffleBytes(100)
+	if m.ShuffleBytes() != int64(r.SizeBytes())+100 {
+		t.Errorf("shuffle bytes = %d", m.ShuffleBytes())
+	}
+	if m.BroadcastBytes() != int64(r.SizeBytes()) {
+		t.Errorf("broadcast bytes = %d", m.BroadcastBytes())
+	}
+	if m.ShuffleRows() != 10 {
+		t.Errorf("shuffle rows = %d", m.ShuffleRows())
+	}
+	if m.TotalBytes() != m.ShuffleBytes()+m.BroadcastBytes() {
+		t.Error("total mismatch")
+	}
+	m.Reset()
+	if m.TotalBytes() != 0 {
+		t.Error("reset failed")
+	}
+	// nil metrics are no-ops.
+	var nilM *Metrics
+	nilM.RecordShuffle(r)
+	nilM.RecordBroadcast(r)
+	nilM.RecordShuffleBytes(5)
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	p := NewPool(8)
+	p.Map(1000, func(int) { m.RecordShuffleBytes(1) })
+	if m.ShuffleBytes() != 1000 {
+		t.Errorf("concurrent accounting lost updates: %d", m.ShuffleBytes())
+	}
+}

@@ -1,0 +1,212 @@
+// Package core implements the iOLAP engine: the online query rewriter, the
+// online operator implementations, and the query controller of Section 7,
+// built on the uncertainty propagation theory of Section 4, the
+// tuple-uncertainty partitioning of Section 5, and the lineage-based lazy
+// evaluation of Section 6.
+//
+// Three engine modes share the operator framework:
+//
+//   - ModeIOLAP — the full system (variation-range pruning + lazy lineage).
+//   - ModeOPT1 — pruning only; state rows are regenerated through a
+//     rebuilt broadcast-join each batch instead of lazily dereferenced
+//     (the middle bar of Figure 9(a)).
+//   - ModeHDA — the DBToaster-style higher-order delta baseline: flat
+//     sub-aggregates are delta-maintained, but every tuple whose predicate
+//     depends on an uncertain aggregate is re-evaluated every batch, with
+//     no variation ranges and no pruning (Section 8's HDA).
+package core
+
+import (
+	"fmt"
+
+	"iolap/internal/cluster"
+	"iolap/internal/expr"
+	"iolap/internal/rel"
+)
+
+// Mode selects the delta update algorithm.
+type Mode int
+
+// Engine modes.
+const (
+	// ModeIOLAP is the full system: OPT1 (tuple-uncertainty partitioning
+	// via variation ranges) + OPT2 (lineage propagation + lazy evaluation).
+	ModeIOLAP Mode = iota
+	// ModeOPT1 disables lazy lineage: state rows are regenerated through
+	// a per-batch broadcast join against the aggregate outputs.
+	ModeOPT1
+	// ModeHDA is the higher-order delta baseline (DBToaster-style): no
+	// uncertainty partitioning, no lineage; everything downstream of an
+	// uncertain aggregate is recomputed over all previously seen data.
+	ModeHDA
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIOLAP:
+		return "iOLAP"
+	case ModeOPT1:
+		return "OPT1"
+	case ModeHDA:
+		return "HDA"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Mode selects the delta algorithm (default ModeIOLAP).
+	Mode Mode
+	// Batches is the number of mini-batches p the streamed table is
+	// partitioned into (default 10).
+	Batches int
+	// Trials is the bootstrap replicate count B (default 100; the paper
+	// uses 100 trials). Negative disables bootstrap entirely (no error
+	// estimates, no variation ranges).
+	Trials int
+	// Slack is the variation-range slack parameter ε (default 2.0, the
+	// paper's recommended setting).
+	Slack float64
+	// Seed drives every random choice (Poisson streams, shuffles).
+	Seed uint64
+	// Workers bounds partition parallelism (default GOMAXPROCS).
+	Workers int
+	// SnapshotKeep is how many recent per-batch state snapshots the
+	// controller retains for failure recovery (default 8). Failures
+	// reaching further back recover from scratch.
+	SnapshotKeep int
+	// MinRangeSupport is the minimum number of input rows a group must
+	// have accumulated before its variation ranges become binding
+	// (default 20). Below it the range stays unbounded: dependent rows
+	// remain non-deterministic (conservative and exact) and the
+	// integrity check cannot spuriously fail on degenerate bootstrap
+	// distributions of near-empty groups.
+	MinRangeSupport int
+	// PreShuffle randomly permutes the streamed table before batching
+	// (the Section 2 pre-processing tool); off by default because the
+	// workload generators already emit shuffled data.
+	PreShuffle bool
+	// NoViewletRewrites disables the Appendix-B viewlet-transformation
+	// plan rewrites that ModeHDA applies by default (DBToaster's
+	// higher-order delta = delta rules + viewlet transforms).
+	NoViewletRewrites bool
+	// BlockRows, when positive, enables the paper's default block-wise
+	// randomness (Section 2): the streamed table is cut into blocks of
+	// this many rows, whole blocks are randomly assigned to mini-batches
+	// (seeded), and rows within a block stay together — the behaviour of
+	// reading randomly partitioned HDFS blocks.
+	BlockRows int
+	// StratifyBy names a column of the streamed table for proportional
+	// stratified batching: every mini-batch receives the same fraction of
+	// each stratum, so rare groups are represented from batch 1 while the
+	// uniform scale factor m_i stays exact. This implements the
+	// stratified-sampling extension the paper leaves as future work
+	// (Section 9).
+	StratifyBy string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Batches <= 0 {
+		o.Batches = 10
+	}
+	if o.Trials == 0 {
+		o.Trials = 100
+	}
+	if o.Trials < 0 {
+		o.Trials = 0 // explicit opt-out of bootstrap
+	}
+	if o.Slack == 0 {
+		o.Slack = 2.0
+	}
+	if o.SnapshotKeep <= 0 {
+		o.SnapshotKeep = 8
+	}
+	if o.MinRangeSupport == 0 {
+		o.MinRangeSupport = 20
+	}
+	if o.MinRangeSupport < 0 {
+		o.MinRangeSupport = 0
+	}
+	return o
+}
+
+// aggPub is one group's published uncertain outputs (indexed by aggregate
+// spec position).
+type aggPub struct {
+	vals []expr.UncValue
+}
+
+// aggTable is an aggregate operator's published output for lineage
+// resolution: the "broadcast-joined" relation of Section 6.2.
+type aggTable struct {
+	groupCols int
+	byKey     map[string]*aggPub
+}
+
+// batchContext carries one mini-batch's execution state. It implements
+// expr.Resolver: resolving a rel.Ref against the producing aggregate's
+// current output *is* the lazy evaluation of Section 6.2.
+type batchContext struct {
+	batch  int     // 1-based engine batch number
+	scale  float64 // m_i = |D| / |D_i|
+	scaleN int     // physical |D_i| (for diagnostics)
+	trials int
+
+	// delta holds this batch's new rows per streamed table name.
+	delta map[string]*rel.Relation
+	// dims holds the static tables (consumed at batch 1).
+	dims dbView
+
+	tables map[int]*aggTable // published aggregate outputs, by op id
+
+	lazy  bool // OPT2: lazy lineage via refs
+	prune bool // OPT1: variation-range pruning
+	// exact marks the final batch (D_i = D): the delivered result is the
+	// exact answer, so error estimates collapse to points.
+	exact bool
+	// hdaAgg makes aggregates with uncertain outputs re-emit ALL their
+	// group rows (materialised values) every batch instead of emitting
+	// stable lineage references once. This is the classical IVM treatment
+	// of a value update as delete+insert (Section 4.3), and is what makes
+	// the HDA baseline recompute everything downstream of an inner
+	// aggregate on every batch.
+	hdaAgg bool
+
+	metrics    *cluster.Metrics
+	recomputed int // tuples recomputed this batch (Fig 8(e,f))
+	failures   []failure
+	pool       *cluster.Pool
+}
+
+// failure records one variation-range integrity violation (Section 5.1).
+type failure struct {
+	op        int
+	recoverTo int // batch label to restore; -1 = from scratch
+}
+
+// dbView abstracts table access for static scans.
+type dbView interface {
+	Get(name string) (*rel.Relation, bool)
+}
+
+// ResolveRef implements expr.Resolver.
+func (bc *batchContext) ResolveRef(r rel.Ref) (expr.UncValue, bool) {
+	t, ok := bc.tables[r.Op]
+	if !ok {
+		return expr.UncValue{}, false
+	}
+	g, ok := t.byKey[r.Key]
+	if !ok {
+		return expr.UncValue{}, false
+	}
+	idx := r.Col - t.groupCols
+	if idx < 0 || idx >= len(g.vals) {
+		return expr.UncValue{}, false
+	}
+	return g.vals[idx], true
+}
+
+// publish registers an aggregate's output table for the batch.
+func (bc *batchContext) publish(op int, t *aggTable) { bc.tables[op] = t }
+
+var _ expr.Resolver = (*batchContext)(nil)

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/cluster"
+	"iolap/internal/exec"
+	"iolap/internal/plan"
+	"iolap/internal/rel"
+	"iolap/internal/storage"
+)
+
+// Update is the refined partial result delivered after one mini-batch.
+type Update struct {
+	// Batch is the 1-based mini-batch number; Batches is the total p.
+	Batch, Batches int
+	// Fraction is |D_i| / |D| of the streamed table.
+	Fraction float64
+	// Result is the partial query result Q(D_i, m_i).
+	Result *rel.Relation
+	// Estimates holds, aligned with Result rows/columns, the bootstrap
+	// error estimates of numeric outputs (zero-valued for exact columns).
+	Estimates [][]bootstrap.Estimate
+	// Duration is the wall-clock time of the batch (including recovery).
+	Duration time.Duration
+	// Recomputed counts the tuples re-evaluated this batch (the Fig 8(e,f)
+	// metric): state refreshes plus pending re-aggregations.
+	Recomputed int
+	// NDSetRows is the total size of the non-deterministic sets held in
+	// SELECT states after the batch.
+	NDSetRows int
+	// JoinStateBytes / OtherStateBytes split operator state memory as in
+	// Figure 9(b).
+	JoinStateBytes, OtherStateBytes int
+	// ShuffleBytes is the data shipped this batch (Fig 9(c)).
+	ShuffleBytes int64
+	// Recoveries counts failure-recovery events triggered this batch
+	// (variation-range integrity violations, Section 5.1).
+	Recoveries int
+}
+
+// MaxRelStdev returns the worst relative standard deviation across all
+// uncertain numeric cells — the accuracy axis of Figure 7(a).
+func (u *Update) MaxRelStdev() float64 {
+	worst := 0.0
+	for _, row := range u.Estimates {
+		for _, e := range row {
+			if e.Stdev > 0 && e.RelStd > worst {
+				worst = e.RelStd
+			}
+		}
+	}
+	return worst
+}
+
+// Engine is the iOLAP query controller (Section 7): it partitions the
+// streamed input into mini-batches, schedules the delta query on each batch,
+// collects partial results, monitors variation-range integrity and runs
+// failure recovery.
+type Engine struct {
+	opts Options
+	comp *compiled
+	db   *exec.DB
+
+	streamedTable string
+	deltas        []*rel.Relation
+	totalRows     int
+	seenRows      int
+	batch         int
+
+	snaps         []engineSnap
+	base          engineSnap
+	needSnapshots bool
+	metrics       cluster.Metrics
+	pool          *cluster.Pool
+
+	totalRecoveries int
+	lastBC          *batchContext
+}
+
+type engineSnap struct {
+	afterBatch int // state is "after batch N" (0 = pristine)
+	ops        []interface{}
+	seenRows   int
+}
+
+// NewEngine compiles the plan and partitions the streamed table. The plan
+// must be finalized (plan.Finalize) and reference exactly one streamed
+// table (the paper streams the fact/largest table; dimension tables are
+// read in full).
+func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	comp, err := compile(root, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(comp.streamed) != 1 {
+		return nil, fmt.Errorf("core: exactly one streamed table required, plan has %d (%v)",
+			len(comp.streamed), comp.streamed)
+	}
+	table := comp.streamed[0]
+	src, ok := db.Get(table)
+	if !ok {
+		return nil, fmt.Errorf("core: streamed table %q not in database", table)
+	}
+	if opts.PreShuffle {
+		src = cluster.Shuffle(src, opts.Seed)
+	}
+	if opts.BlockRows > 0 {
+		// Block-wise randomness: permute whole blocks, keep rows within a
+		// block together (Section 2's default).
+		table := &storage.Table{Rel: src}
+		for lo := 0; lo < src.Len(); lo += opts.BlockRows {
+			table.BlockStarts = append(table.BlockStarts, lo)
+		}
+		src = table.ShuffleBlocks(opts.Seed ^ 0xb10c)
+	}
+	p := opts.Batches
+	if p > src.Len() && src.Len() > 0 {
+		p = src.Len()
+	}
+	if p <= 0 {
+		p = 1
+	}
+	var deltas []*rel.Relation
+	if opts.StratifyBy != "" {
+		idx, err := src.Schema.Resolve("", opts.StratifyBy)
+		if err != nil {
+			return nil, fmt.Errorf("core: stratify column: %w", err)
+		}
+		deltas = stratifyBatches(src, idx, p)
+	} else {
+		// Contiguous blocks: the paper's default block-wise randomness
+		// (the generators emit pre-shuffled data; PreShuffle covers the
+		// rest).
+		deltas = make([]*rel.Relation, p)
+		n := src.Len()
+		for i := 0; i < p; i++ {
+			lo := i * n / p
+			hi := (i + 1) * n / p
+			d := rel.NewRelation(src.Schema)
+			d.Tuples = src.Tuples[lo:hi]
+			deltas[i] = d
+		}
+	}
+	e := &Engine{
+		opts:          opts,
+		comp:          comp,
+		db:            db,
+		streamedTable: table,
+		deltas:        deltas,
+		totalRows:     src.Len(),
+		pool:          cluster.NewPool(opts.Workers),
+	}
+	e.needSnapshots = comp.nested && opts.Mode != ModeHDA && opts.Trials > 0
+	e.base = e.takeSnapshot(0)
+	return e, nil
+}
+
+// Batches returns the number of mini-batches p.
+func (e *Engine) Batches() int { return len(e.deltas) }
+
+// Done reports whether all batches have been processed.
+func (e *Engine) Done() bool { return e.batch >= len(e.deltas) }
+
+// Mode returns the configured delta algorithm.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// Nested reports whether the compiled query contains nested
+// (uncertainty-coupled) aggregates — the class where iOLAP's algorithm
+// diverges from classical delta rules.
+func (e *Engine) Nested() bool { return e.comp.nested }
+
+// PlanString renders the normalized online plan with its Section 4.1
+// uncertainty annotations (the paper's Figure 3 as a diagnostic).
+func (e *Engine) PlanString() string {
+	return plan.FormatAnnotated(e.comp.norm, e.comp.analysis)
+}
+
+// TotalRecoveries returns the failure-recovery count so far.
+func (e *Engine) TotalRecoveries() int { return e.totalRecoveries }
+
+func (e *Engine) takeSnapshot(afterBatch int) engineSnap {
+	s := engineSnap{afterBatch: afterBatch, ops: make([]interface{}, len(e.comp.ops)), seenRows: e.seenRows}
+	for i, op := range e.comp.ops {
+		s.ops[i] = op.snapshot()
+	}
+	return s
+}
+
+func (e *Engine) restoreSnapshot(s engineSnap) {
+	for i, op := range e.comp.ops {
+		op.restore(s.ops[i])
+	}
+	e.seenRows = s.seenRows
+}
+
+func (e *Engine) newBatchContext(deltaRows *rel.Relation, seenAfter int) *batchContext {
+	scale := 1.0
+	if seenAfter > 0 {
+		scale = float64(e.totalRows) / float64(seenAfter)
+	}
+	return &batchContext{
+		batch:   e.batch,
+		scale:   scale,
+		scaleN:  seenAfter,
+		exact:   seenAfter >= e.totalRows,
+		trials:  e.opts.Trials,
+		delta:   map[string]*rel.Relation{e.streamedTable: deltaRows},
+		dims:    e.db,
+		tables:  make(map[int]*aggTable),
+		lazy:    e.opts.Mode == ModeIOLAP,
+		prune:   e.opts.Mode != ModeHDA,
+		hdaAgg:  e.opts.Mode == ModeHDA,
+		metrics: &e.metrics,
+		pool:    e.pool,
+	}
+}
+
+// mergeDeltas concatenates the deltas of batches (from, to] (1-based).
+func (e *Engine) mergeDeltas(from, to int) *rel.Relation {
+	out := rel.NewRelation(e.deltas[0].Schema)
+	for b := from + 1; b <= to; b++ {
+		out.Tuples = append(out.Tuples, e.deltas[b-1].Tuples...)
+	}
+	return out
+}
+
+// Step processes the next mini-batch and returns the refined partial
+// result. It implements the controller loop of Section 7 including failure
+// recovery: on a variation-range integrity violation the state is restored
+// to the last consistent batch and the skipped batches are reprocessed as
+// one merged delta (Section 5.1).
+func (e *Engine) Step() (*Update, error) {
+	if e.Done() {
+		return nil, fmt.Errorf("core: all %d batches processed", len(e.deltas))
+	}
+	start := time.Now()
+	shuffleBefore := e.metrics.ShuffleBytes()
+	// Snapshot the pre-batch state for recovery. Queries that track no
+	// variation ranges can never fail an integrity check, so they skip
+	// the snapshot cost entirely.
+	if e.needSnapshots {
+		snap := e.takeSnapshot(e.batch)
+		e.snaps = append(e.snaps, snap)
+		if len(e.snaps) > e.opts.SnapshotKeep {
+			e.snaps = e.snaps[len(e.snaps)-e.opts.SnapshotKeep:]
+		}
+	}
+	e.batch++
+	d := e.deltas[e.batch-1]
+	e.seenRows += d.Len()
+	bc := e.newBatchContext(d, e.seenRows)
+	if _, err := e.comp.sink.step(bc); err != nil {
+		return nil, err
+	}
+	recoveries := 0
+	for attempt := 0; len(bc.failures) > 0; attempt++ {
+		if attempt >= 4 {
+			return nil, fmt.Errorf("core: failure recovery did not converge at batch %d", e.batch)
+		}
+		recoveries++
+		e.totalRecoveries++
+		// Pick the earliest consistent batch over all failures.
+		j := e.batch - 1
+		for _, f := range bc.failures {
+			if f.recoverTo < j {
+				j = f.recoverTo
+			}
+		}
+		if j < 0 || attempt >= 2 {
+			j = 0 // recover from scratch
+		}
+		restored := false
+		if j == 0 {
+			e.restoreSnapshot(e.base)
+			restored = true
+		} else {
+			for i := len(e.snaps) - 1; i >= 0; i-- {
+				if e.snaps[i].afterBatch == j {
+					e.restoreSnapshot(e.snaps[i])
+					restored = true
+					break
+				}
+			}
+		}
+		if !restored {
+			// Snapshot evicted: recover from scratch.
+			j = 0
+			e.restoreSnapshot(e.base)
+		}
+		// Snapshots newer than the restore point describe state that the
+		// replay will overwrite (join/sink snapshots are truncation-based);
+		// drop them.
+		keep := e.snaps[:0]
+		for _, s := range e.snaps {
+			if s.afterBatch <= j {
+				keep = append(keep, s)
+			}
+		}
+		e.snaps = keep
+		merged := e.mergeDeltas(j, e.batch)
+		e.seenRows += merged.Len()
+		bc = e.newBatchContext(merged, e.seenRows)
+		if _, err := e.comp.sink.step(bc); err != nil {
+			return nil, err
+		}
+	}
+	e.lastBC = bc
+	result, ests := e.comp.sink.materialize(bc)
+	u := &Update{
+		Batch:        e.batch,
+		Batches:      len(e.deltas),
+		Fraction:     float64(e.seenRows) / float64(max(1, e.totalRows)),
+		Result:       result,
+		Estimates:    ests,
+		Duration:     time.Since(start),
+		Recomputed:   bc.recomputed,
+		NDSetRows:    e.ndSetRows(),
+		ShuffleBytes: e.metrics.ShuffleBytes() - shuffleBefore,
+		Recoveries:   recoveries,
+	}
+	for _, op := range e.comp.ops {
+		if op.kind() == "join" {
+			u.JoinStateBytes += op.stateBytes()
+		} else {
+			u.OtherStateBytes += op.stateBytes()
+		}
+	}
+	return u, nil
+}
+
+func (e *Engine) ndSetRows() int {
+	n := 0
+	for _, op := range e.comp.ops {
+		if s, ok := op.(*opSelect); ok {
+			n += s.state.Len()
+		}
+	}
+	return n
+}
+
+// Run processes every remaining batch and returns all updates.
+func (e *Engine) Run() ([]*Update, error) {
+	var out []*Update
+	for !e.Done() {
+		u, err := e.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// TotalShuffleBytes returns cumulative exchange traffic.
+func (e *Engine) TotalShuffleBytes() int64 { return e.metrics.ShuffleBytes() }
+
+// OpStat is one operator's per-batch runtime statistics (EXPLAIN
+// ANALYZE-style observability).
+type OpStat struct {
+	// Kind is the operator class (scan/select/project/join/union/
+	// aggregate/sink).
+	Kind string
+	// News and Unc are the rows emitted by the last batch: certain
+	// (permanent) and tuple-uncertain (re-derived) respectively.
+	News, Unc int
+	// StateBytes is the operator's current Section-4.2 state footprint.
+	StateBytes int
+}
+
+// OpStats reports per-operator statistics for the most recent batch, in
+// bottom-up plan order.
+func (e *Engine) OpStats() []OpStat {
+	out := make([]OpStat, 0, len(e.comp.ops))
+	for _, op := range e.comp.ops {
+		news, unc := op.lastCounts()
+		out = append(out, OpStat{
+			Kind:       op.kind(),
+			News:       news,
+			Unc:        unc,
+			StateBytes: op.stateBytes(),
+		})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// stratifyBatches splits the streamed relation into p mini-batches that
+// each contain the same fraction of every stratum (value of column idx),
+// preserving within-stratum order. Proportional allocation keeps the
+// uniform scale m_i = |D|/|D_i| exact while guaranteeing every stratum is
+// represented from the first batch — the stratified-sampling extension of
+// Section 9.
+func stratifyBatches(src *rel.Relation, idx, p int) []*rel.Relation {
+	strata := make(map[string][]rel.Tuple)
+	var order []string
+	for _, tp := range src.Tuples {
+		k := tp.Vals[idx].String()
+		if _, ok := strata[k]; !ok {
+			order = append(order, k)
+		}
+		strata[k] = append(strata[k], tp)
+	}
+	deltas := make([]*rel.Relation, p)
+	for i := 0; i < p; i++ {
+		d := rel.NewRelation(src.Schema)
+		for _, k := range order {
+			rows := strata[k]
+			lo := i * len(rows) / p
+			hi := (i + 1) * len(rows) / p
+			d.Tuples = append(d.Tuples, rows[lo:hi]...)
+		}
+		deltas[i] = d
+	}
+	return deltas
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math"
+
+	"iolap/internal/agg"
+	"iolap/internal/bootstrap"
+	"iolap/internal/delta"
+	"iolap/internal/expr"
+	"iolap/internal/plan"
+	"iolap/internal/rel"
+)
+
+// opAgg implements the AGGREGATE delta rule with the three-tier state of
+// Sections 4.2 and 5:
+//
+//   - sketch: certain-multiplicity inputs whose aggregated columns are
+//     deterministic fold permanently into per-group accumulator vectors
+//     (running value + B bootstrap replicates) — sub-linear space.
+//   - lineage rows: certain-multiplicity inputs whose aggregated columns
+//     are uncertain cannot be sketched (Section 4.2); the rows are kept and
+//     their contributions recomputed each batch by lazily re-evaluating the
+//     aggregate arguments against the carried lineage (Section 6.2).
+//   - pending: tuple-uncertain inputs arrive fresh every batch from the
+//     upstream non-deterministic sets and are folded into per-batch scratch
+//     accumulators.
+//
+// Every batch the operator publishes its current output table (value,
+// replicates, variation range per group and aggregate) for lineage
+// resolution, observes the variation ranges R(u) (Section 5.1, reporting
+// integrity failures to the controller), and emits each group's row exactly
+// once — with lineage references in the uncertain columns — as soon as the
+// group's existence is certain.
+type opAgg struct {
+	emitCounts
+	node  *plan.Aggregate
+	child operator
+
+	specs       []aggSpecC
+	hasLazy     bool
+	scaleExp    int
+	trials      int
+	slack       float64
+	minSupport  int
+	trackRanges bool
+	uncInput    map[int]bool // child columns that are uncertain
+
+	groups map[string]*aggGroup
+	order  []string
+
+	// scratchPool reuses the per-batch pending/lazy accumulator vectors
+	// across batches (epoch-tagged) to avoid re-allocating
+	// O(groups x trials) accumulators every batch.
+	scratchPool map[string]*scratchEntry
+	epoch       int
+	// mergeBuf is a per-spec reusable vector used to read sketch+scratch
+	// without cloning the sketch.
+	mergeBuf []*agg.Vector
+}
+
+// scratchEntry is one group's reusable scratch vectors.
+type scratchEntry struct {
+	vecs  []*agg.Vector
+	epoch int
+}
+
+// aggSpecC is one compiled aggregate.
+type aggSpecC struct {
+	fn           *agg.Func
+	arg          expr.Expr // nil for COUNT(*)
+	argUncertain bool      // argument reads uncertain columns (lazy spec)
+	uncertainOut bool      // output column carries attribute uncertainty
+	outCol       int       // column index in the aggregate's output schema
+}
+
+type aggGroup struct {
+	key    []rel.Value
+	sketch []*agg.Vector // per spec (allocated lazily per group)
+	lazy   delta.RowSet  // lineage rows (only when hasLazy)
+	ranges []*bootstrap.Range
+	// support counts the certain input rows folded so far; variation
+	// ranges only become binding once it reaches the engine's
+	// MinRangeSupport (degenerate bootstrap distributions of near-empty
+	// groups would otherwise guarantee spurious integrity failures).
+	support int
+	certain bool
+	emitted bool
+}
+
+func newOpAgg(t *plan.Aggregate, child operator, an *plan.Analysis, scaleExp int, opts Options, trackRanges bool) *opAgg {
+	info := an.Info[t.ID()]
+	childInfo := an.Info[t.Child.ID()]
+	op := &opAgg{
+		node:        t,
+		child:       child,
+		scaleExp:    scaleExp,
+		trials:      opts.Trials,
+		slack:       opts.Slack,
+		minSupport:  opts.MinRangeSupport,
+		trackRanges: trackRanges,
+		groups:      make(map[string]*aggGroup),
+		uncInput:    make(map[int]bool),
+	}
+	for i, u := range childInfo.UncertainCols {
+		if u {
+			op.uncInput[i] = true
+		}
+	}
+	for i, sp := range t.Aggs {
+		c := aggSpecC{
+			fn:     sp.Fn,
+			arg:    sp.Arg,
+			outCol: len(t.GroupBy) + i,
+		}
+		c.uncertainOut = info.UncertainCols[c.outCol]
+		if sp.Arg != nil {
+			for _, col := range sp.Arg.Cols(nil) {
+				if op.uncInput[col] {
+					c.argUncertain = true
+				}
+			}
+		}
+		if c.argUncertain {
+			op.hasLazy = true
+		}
+		op.specs = append(op.specs, c)
+	}
+	return op
+}
+
+// fnvShard hashes a group key onto one of w worker shards, so each group's
+// sketch is mutated by exactly one worker during the parallel fold.
+func fnvShard(key string, w int) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	return h % uint64(w)
+}
+
+// anyUncertainOut reports whether any aggregate column is uncertain.
+func (o *opAgg) anyUncertainOut() bool {
+	for i := range o.specs {
+		if o.specs[i].uncertainOut {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *opAgg) getGroup(vals []rel.Value, key string) *aggGroup {
+	g, ok := o.groups[key]
+	if !ok {
+		keyVals := make([]rel.Value, len(o.node.GroupBy))
+		for i, c := range o.node.GroupBy {
+			keyVals[i] = vals[c]
+		}
+		g = &aggGroup{
+			key:    keyVals,
+			sketch: make([]*agg.Vector, len(o.specs)),
+			ranges: make([]*bootstrap.Range, len(o.specs)),
+		}
+		for i, sp := range o.specs {
+			g.sketch[i] = agg.NewVector(sp.fn, o.trials)
+			// Only smooth aggregates get variation ranges: MIN/MAX and
+			// COUNT(DISTINCT) drift monotonically under insertions, so a
+			// range would fail its integrity check on almost every batch;
+			// their dependents simply stay non-deterministic.
+			if sp.uncertainOut && sp.fn.Smooth {
+				g.ranges[i] = bootstrap.NewRange(o.slack)
+			}
+		}
+		o.groups[key] = g
+		o.order = append(o.order, key)
+	}
+	return g
+}
+
+// argValue evaluates one aggregate argument under current values.
+// ok=false means NULL (the row is skipped for this aggregate).
+func argValue(sp aggSpecC, r delta.Row, bc *batchContext) (float64, bool) {
+	if sp.arg == nil {
+		return 0, true // COUNT(*)
+	}
+	v := sp.arg.Eval(r.Vals, bc)
+	if v.IsNull() {
+		return 0, false
+	}
+	if sp.fn.AcceptsAny {
+		return v.NumericKey(), true
+	}
+	if !v.IsNumeric() {
+		return 0, false
+	}
+	return v.Float(), true
+}
+
+// argReps evaluates the per-replicate values of an uncertain argument.
+func argReps(sp aggSpecC, r delta.Row, bc *batchContext) []float64 {
+	if bc.trials == 0 {
+		return nil
+	}
+	reps := make([]float64, bc.trials)
+	for b := 0; b < bc.trials; b++ {
+		v := sp.arg.EvalRep(r.Vals, bc, b)
+		if v.IsNumeric() {
+			reps[b] = v.Float()
+		} else {
+			reps[b] = math.NaN()
+		}
+	}
+	return reps
+}
+
+func (o *opAgg) step(bc *batchContext) (output, error) {
+	in, err := o.child.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	// A grouped aggregate repartitions its input by key.
+	if bc.metrics != nil && len(o.node.GroupBy) > 0 {
+		n := 0
+		for _, r := range in.news {
+			n += r.SizeBytes()
+		}
+		for _, r := range in.unc {
+			n += r.SizeBytes()
+		}
+		bc.metrics.RecordShuffleBytes(n)
+	}
+	// Global aggregates produce their single output row from batch 1
+	// regardless of input (SQL semantics: the row always exists).
+	if len(o.node.GroupBy) == 0 && len(o.groups) == 0 {
+		g := o.getGroup(nil, "")
+		g.certain = true
+	}
+	// Phase A: fold new certain rows. Group creation and bookkeeping are
+	// sequential (deterministic group order); the sketch folding — the
+	// expensive part, O(rows x trials) accumulator adds — runs
+	// partition-parallel with groups sharded across workers, the
+	// pre-aggregation pattern a distributed deployment uses.
+	foldRow := func(g *aggGroup, r delta.Row) {
+		for si := range o.specs {
+			sp := &o.specs[si]
+			if sp.argUncertain {
+				continue // folded from lineage rows each batch
+			}
+			val, ok := argValue(*sp, r, bc)
+			if !ok {
+				continue
+			}
+			g.sketch[si].Add(val, r.Mult, r.W)
+		}
+	}
+	const parallelFoldThreshold = 2048
+	if len(in.news) >= parallelFoldThreshold && bc.pool != nil && bc.pool.Workers() > 1 && o.trials > 0 {
+		grps := make([]*aggGroup, len(in.news))
+		shard := make([]int, len(in.news))
+		w := bc.pool.Workers()
+		for i, r := range in.news {
+			key := rel.EncodeKey(r.Vals, o.node.GroupBy)
+			g := o.getGroup(r.Vals, key)
+			g.certain = true
+			g.support++
+			if o.hasLazy {
+				g.lazy.Add(r.Clone())
+			}
+			grps[i] = g
+			shard[i] = int(fnvShard(key, w))
+		}
+		bc.pool.Map(w, func(worker int) {
+			for i := range grps {
+				if shard[i] == worker {
+					foldRow(grps[i], in.news[i])
+				}
+			}
+		})
+	} else {
+		for _, r := range in.news {
+			key := rel.EncodeKey(r.Vals, o.node.GroupBy)
+			g := o.getGroup(r.Vals, key)
+			g.certain = true
+			g.support++
+			if o.hasLazy {
+				g.lazy.Add(r.Clone())
+			}
+			foldRow(g, r)
+		}
+	}
+	// Phase B: per-batch scratch contributions — lineage rows (lazy
+	// re-evaluation) and pending tuple-uncertain rows. Scratch vectors are
+	// pooled across batches and lazily reset on first touch of the epoch.
+	o.epoch++
+	if o.scratchPool == nil {
+		o.scratchPool = make(map[string]*scratchEntry)
+	}
+	scratchVec := func(key string, si int) *agg.Vector {
+		e := o.scratchPool[key]
+		if e == nil {
+			e = &scratchEntry{vecs: make([]*agg.Vector, len(o.specs))}
+			o.scratchPool[key] = e
+		}
+		if e.epoch != o.epoch {
+			e.epoch = o.epoch
+			for _, v := range e.vecs {
+				if v != nil {
+					v.Reset()
+				}
+			}
+		}
+		if e.vecs[si] == nil {
+			e.vecs[si] = agg.NewVector(o.specs[si].fn, o.trials)
+		}
+		return e.vecs[si]
+	}
+	liveScratch := func(key string, si int) *agg.Vector {
+		e := o.scratchPool[key]
+		if e == nil || e.epoch != o.epoch {
+			return nil
+		}
+		return e.vecs[si]
+	}
+	if o.hasLazy {
+		for _, key := range o.order {
+			g := o.groups[key]
+			if g.lazy.Len() == 0 {
+				continue
+			}
+			bc.recomputed += g.lazy.Len()
+			for _, r := range g.lazy.Rows {
+				if !bc.lazy {
+					regenerate(r, bc)
+				}
+				for si := range o.specs {
+					sp := &o.specs[si]
+					if !sp.argUncertain {
+						continue
+					}
+					val, ok := argValue(*sp, r, bc)
+					if !ok {
+						continue
+					}
+					scratchVec(key, si).AddRep(val, argReps(*sp, r, bc), r.Mult, r.W)
+				}
+			}
+		}
+	}
+	touched := make(map[string]bool)
+	bc.recomputed += len(in.unc)
+	for _, r := range in.unc {
+		key := rel.EncodeKey(r.Vals, o.node.GroupBy)
+		g := o.getGroup(r.Vals, key)
+		_ = g
+		touched[key] = true
+		for si := range o.specs {
+			sp := &o.specs[si]
+			val, ok := argValue(*sp, r, bc)
+			if !ok {
+				continue
+			}
+			if sp.argUncertain {
+				scratchVec(key, si).AddRep(val, argReps(*sp, r, bc), r.Mult, r.W)
+			} else {
+				scratchVec(key, si).Add(val, r.Mult, r.W)
+			}
+		}
+	}
+	// Phase C: read results, observe variation ranges, publish the output
+	// table, emit rows.
+	scale := 1.0
+	for k := 0; k < o.scaleExp; k++ {
+		scale *= bc.scale
+	}
+	// HDA semantics (Section 4.3): an uncertain aggregate's output rows are
+	// materialised values whose update is delete+insert, so every group is
+	// re-emitted (tuple-uncertain) each batch and everything downstream
+	// recomputes; there are no stable lineage references.
+	hdaRecompute := bc.hdaAgg && o.anyUncertainOut()
+	table := &aggTable{groupCols: len(o.node.GroupBy), byKey: make(map[string]*aggPub, len(o.groups))}
+	var out output
+	for _, key := range o.order {
+		g := o.groups[key]
+		pub := &aggPub{vals: make([]expr.UncValue, len(o.specs))}
+		rowVals := make([]rel.Value, 0, len(g.key)+len(o.specs))
+		rowVals = append(rowVals, g.key...)
+		for si := range o.specs {
+			sp := &o.specs[si]
+			vec := g.sketch[si]
+			if sv := liveScratch(key, si); sv != nil {
+				// Read through a reusable merge buffer: reset + two
+				// merges cost no allocation (vs cloning the sketch).
+				if o.mergeBuf == nil {
+					o.mergeBuf = make([]*agg.Vector, len(o.specs))
+				}
+				if o.mergeBuf[si] == nil {
+					o.mergeBuf[si] = agg.NewVector(sp.fn, o.trials)
+				}
+				buf := o.mergeBuf[si]
+				buf.Reset()
+				buf.Merge(vec)
+				buf.Merge(sv)
+				vec = buf
+			}
+			val := vec.Result(scale)
+			var reps []float64
+			if o.trials > 0 {
+				reps = vec.RepResults(scale, nil)
+			}
+			rng := bootstrap.Full()
+			if o.trackRanges && sp.uncertainOut && g.ranges[si] != nil &&
+				o.trials > 0 && bc.prune && g.support >= o.minSupport {
+				ok, recoverTo := g.ranges[si].Observe(bc.batch, val, reps)
+				if !ok {
+					bc.failures = append(bc.failures, failure{op: o.node.ID(), recoverTo: recoverTo})
+				}
+				rng = g.ranges[si].Current()
+			} else if !sp.uncertainOut {
+				rng = bootstrap.Point(val)
+			}
+			pub.vals[si] = expr.UncValue{Value: rel.Float(val), Reps: reps, Range: rng}
+			if sp.uncertainOut && !hdaRecompute {
+				rowVals = append(rowVals, rel.NewRef(rel.Ref{Op: o.node.ID(), Key: key, Col: sp.outCol}))
+			} else {
+				rowVals = append(rowVals, rel.Float(val))
+			}
+		}
+		table.byKey[key] = pub
+		if hdaRecompute {
+			// Delete+insert value updates: every live group flows as a
+			// tuple-uncertain row, every batch.
+			if g.certain || touched[key] {
+				out.unc = append(out.unc, delta.Row{Vals: rowVals, Mult: 1})
+			}
+			continue
+		}
+		if g.certain {
+			if !g.emitted {
+				g.emitted = true
+				out.news = append(out.news, delta.Row{Vals: rowVals, Mult: 1})
+			}
+		} else if touched[key] {
+			out.unc = append(out.unc, delta.Row{Vals: rowVals, Mult: 1})
+		}
+	}
+	o.record(out)
+	bc.publish(o.node.ID(), table)
+	// The published table is broadcast to workers for lazy evaluation
+	// (Section 6.2's broadcast join).
+	if bc.metrics != nil {
+		n := 0
+		for _, pub := range table.byKey {
+			n += 48
+			for _, uv := range pub.vals {
+				n += 16 + 8*len(uv.Reps)
+			}
+		}
+		bc.metrics.RecordShuffleBytes(n)
+	}
+	return out, nil
+}
+
+type aggSnap struct {
+	groups map[string]*aggGroup
+	order  []string
+}
+
+func (o *opAgg) snapshot() interface{} {
+	s := aggSnap{groups: make(map[string]*aggGroup, len(o.groups)), order: append([]string(nil), o.order...)}
+	for k, g := range o.groups {
+		ng := &aggGroup{
+			key:     append([]rel.Value(nil), g.key...),
+			sketch:  make([]*agg.Vector, len(g.sketch)),
+			ranges:  make([]*bootstrap.Range, len(g.ranges)),
+			support: g.support,
+			certain: g.certain,
+			emitted: g.emitted,
+		}
+		for i, v := range g.sketch {
+			ng.sketch[i] = v.Clone()
+		}
+		for i, r := range g.ranges {
+			if r != nil {
+				ng.ranges[i] = r.Snapshot()
+			}
+		}
+		ng.lazy.Restore(&g.lazy)
+		s.groups[k] = ng
+	}
+	return s
+}
+
+func (o *opAgg) restore(snap interface{}) {
+	s := snap.(aggSnap)
+	o.groups = make(map[string]*aggGroup, len(s.groups))
+	o.order = append([]string(nil), s.order...)
+	for k, g := range s.groups {
+		ng := &aggGroup{
+			key:     append([]rel.Value(nil), g.key...),
+			sketch:  make([]*agg.Vector, len(g.sketch)),
+			ranges:  make([]*bootstrap.Range, len(g.ranges)),
+			support: g.support,
+			certain: g.certain,
+			emitted: g.emitted,
+		}
+		for i, v := range g.sketch {
+			ng.sketch[i] = v.Clone()
+		}
+		for i, r := range g.ranges {
+			if r != nil {
+				ng.ranges[i] = r.Snapshot()
+			}
+		}
+		ng.lazy.Restore(&g.lazy)
+		o.groups[k] = ng
+	}
+}
+
+func (o *opAgg) stateBytes() int {
+	// Sketch footprints are constant per spec; compute once instead of
+	// walking every accumulator of every group.
+	perGroup := 64
+	for si := range o.specs {
+		perGroup += 48 + (1+o.trials)*o.specs[si].fn.New().SizeBytes()
+	}
+	n := perGroup * len(o.groups)
+	if o.hasLazy {
+		for _, g := range o.groups {
+			n += g.lazy.SizeBytes()
+		}
+	}
+	return n
+}
+
+func (o *opAgg) kind() string { return "aggregate" }

@@ -1,0 +1,626 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/delta"
+	"iolap/internal/expr"
+	"iolap/internal/plan"
+	"iolap/internal/rel"
+)
+
+// output is what an online operator emits for one mini-batch:
+//
+//   - news: rows whose multiplicity is now final (u# = F). They are emitted
+//     exactly once and downstream operators may fold them permanently into
+//     sketches and join states. Uncertain *attributes* inside them are
+//     lineage references, so they never go stale.
+//   - unc: the operator's current tuple-uncertain rows (u# = T), re-derived
+//     every batch. Downstream operators recompute their contribution from
+//     scratch each batch (the pending part of the delta update algorithm).
+//
+// The operator's logical output at batch i is (∪ all news so far) ∪ unc.
+type output struct {
+	news []delta.Row
+	unc  []delta.Row
+}
+
+// operator is one online operator (Section 7's "online operator
+// implementations"): it processes a mini-batch, maintains its Section 4.2
+// state, and supports snapshot/restore for failure recovery.
+type operator interface {
+	step(bc *batchContext) (output, error)
+	snapshot() interface{}
+	restore(snap interface{})
+	stateBytes() int
+	kind() string
+	// lastCounts reports the rows emitted by the most recent step:
+	// (certain news, tuple-uncertain re-emissions).
+	lastCounts() (news, unc int)
+}
+
+// emitCounts is embedded by operators to satisfy lastCounts.
+type emitCounts struct {
+	newsN, uncN int
+}
+
+func (c *emitCounts) record(out output)      { c.newsN, c.uncN = len(out.news), len(out.unc) }
+func (c *emitCounts) lastCounts() (int, int) { return c.newsN, c.uncN }
+
+// evalTrue evaluates a predicate to a definite boolean under current values.
+func evalTrue(pred expr.Expr, r delta.Row, bc *batchContext) bool {
+	v := pred.Eval(r.Vals, bc)
+	return !v.IsNull() && v.Kind() == rel.KBool && v.Bool()
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+type opScan struct {
+	emitCounts
+	node    *plan.Scan
+	poisson *bootstrap.PoissonSource // nil when trials == 0 or scan is static
+	next    uint64                   // per-table tuple index for weight derivation
+	done    bool                     // static side fully emitted
+}
+
+type scanSnap struct {
+	next uint64
+	done bool
+}
+
+func newOpScan(t *plan.Scan, opts Options) *opScan {
+	op := &opScan{node: t}
+	if t.Streamed && opts.Trials > 0 {
+		// Salt by table name so distinct tables get independent Poisson
+		// streams, while the multiple scans of one table (self joins via
+		// subqueries) assign identical weights to identical tuples —
+		// required for bootstrap correctness.
+		salt := opts.Seed
+		for _, ch := range t.Table {
+			salt = salt*131 + uint64(ch)
+		}
+		op.poisson = bootstrap.NewPoissonSource(salt, opts.Trials)
+	}
+	return op
+}
+
+func (o *opScan) step(bc *batchContext) (output, error) {
+	if o.node.Streamed {
+		d, ok := bc.delta[o.node.Table]
+		if !ok {
+			return output{}, fmt.Errorf("core: no delta for streamed table %q", o.node.Table)
+		}
+		rows := make([]delta.Row, d.Len())
+		base := o.next
+		fill := func(i int) {
+			tp := d.Tuples[i]
+			var w []float64
+			if o.poisson != nil {
+				w = o.poisson.Weights(base + uint64(i))
+			}
+			rows[i] = delta.Row{Vals: tp.Vals, Mult: tp.Mult, W: w}
+		}
+		// Weight derivation is per-tuple-index deterministic, so the
+		// partition-parallel path is bit-identical to the sequential one.
+		if o.poisson != nil && bc.pool != nil && d.Len() >= 512 {
+			bc.pool.Map(d.Len(), fill)
+		} else {
+			for i := range rows {
+				fill(i)
+			}
+		}
+		o.next += uint64(d.Len())
+		out := output{news: rows}
+		o.record(out)
+		return out, nil
+	}
+	if o.done {
+		o.record(output{})
+		return output{}, nil
+	}
+	o.done = true
+	src, ok := bc.dims.Get(o.node.Table)
+	if !ok {
+		return output{}, fmt.Errorf("core: unknown table %q", o.node.Table)
+	}
+	rows := make([]delta.Row, 0, src.Len())
+	for _, tp := range src.Tuples {
+		rows = append(rows, delta.Row{Vals: tp.Vals, Mult: tp.Mult})
+	}
+	out := output{news: rows}
+	o.record(out)
+	return out, nil
+}
+
+func (o *opScan) snapshot() interface{}    { return scanSnap{next: o.next, done: o.done} }
+func (o *opScan) restore(snap interface{}) { s := snap.(scanSnap); o.next, o.done = s.next, s.done }
+func (o *opScan) stateBytes() int          { return 0 }
+func (o *opScan) kind() string             { return "scan" }
+
+// ---------------------------------------------------------------------------
+// Select
+
+// opSelect implements the SELECT delta rule (Sections 4.2 and 5.2): rows
+// whose predicate decision is deterministic under the current variation
+// ranges pass or drop permanently; the rest form the non-deterministic set
+// U_i, saved in the operator state and re-evaluated every batch. When the
+// range of the uncertain operand narrows enough, state rows are promoted
+// (emitted as certain) or discarded.
+type opSelect struct {
+	emitCounts
+	node          *plan.Select
+	child         operator
+	predUncertain bool
+	state         delta.RowSet // the non-deterministic set U_i
+}
+
+func (o *opSelect) classify(r delta.Row, bc *batchContext) expr.Tri {
+	if !bc.prune {
+		// HDA: no variation ranges — every decision involving an
+		// uncertain aggregate stays non-deterministic forever.
+		return expr.Unknown
+	}
+	return o.node.Pred.Tri(r.Vals, bc)
+}
+
+func (o *opSelect) step(bc *batchContext) (output, error) {
+	in, err := o.child.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	var out output
+	pred := o.node.Pred
+	// 1. Refresh and re-classify the non-deterministic set (this is the
+	// recomputation the paper's Figure 8(e,f) counts).
+	if o.state.Len() > 0 {
+		bc.recomputed += o.state.Len()
+		kept := o.state.Rows[:0]
+		for _, r := range o.state.Rows {
+			if !bc.lazy {
+				regenerate(r, bc)
+			}
+			switch o.classify(r, bc) {
+			case expr.True:
+				out.news = append(out.news, r) // promoted: decision final
+			case expr.False:
+				// pruned permanently
+			default:
+				kept = append(kept, r)
+				if evalTrue(pred, r, bc) {
+					out.unc = append(out.unc, r)
+				}
+			}
+		}
+		o.state.Rows = kept
+	}
+	// 2. New certain input rows.
+	for _, r := range in.news {
+		if !o.predUncertain {
+			if evalTrue(pred, r, bc) {
+				out.news = append(out.news, r)
+			}
+			continue
+		}
+		switch o.classify(r, bc) {
+		case expr.True:
+			out.news = append(out.news, r)
+		case expr.False:
+		default:
+			o.state.Add(r.Clone())
+			if evalTrue(pred, r, bc) {
+				out.unc = append(out.unc, r)
+			}
+		}
+	}
+	// 3. Upstream tuple-uncertain rows: filter by current values; their
+	// uncertainty is owned upstream, so they stay uncertain here.
+	bc.recomputed += len(in.unc)
+	for _, r := range in.unc {
+		if evalTrue(pred, r, bc) {
+			out.unc = append(out.unc, r)
+		}
+	}
+	o.record(out)
+	return out, nil
+}
+
+// regenSink defeats dead-code elimination of the OPT1 regeneration work.
+var regenSink int
+
+// regenerate simulates the non-lazy refresh of a state row (ModeOPT1 /
+// ModeHDA): instead of dereferencing lineage in place, the row is rebuilt —
+// cloned and its uncertain attributes re-fetched through the per-batch
+// broadcast-joined aggregate output — which is what "regenerating the tuple
+// from scratch" costs in-process (the paper's version additionally pays
+// I/O and shuffle, which the cluster metrics account separately).
+func regenerate(r delta.Row, bc *batchContext) {
+	rr := r.Clone()
+	for i, v := range rr.Vals {
+		if v.IsRef() {
+			if uv, ok := bc.ResolveRef(v.Ref()); ok {
+				rr.Vals[i] = uv.Value
+			}
+		}
+	}
+	regenSink += len(rr.Vals)
+}
+
+func (o *opSelect) snapshot() interface{}    { return o.state.Snapshot() }
+func (o *opSelect) restore(snap interface{}) { o.state.Restore(snap.(*delta.RowSet)) }
+func (o *opSelect) stateBytes() int          { return o.state.SizeBytes() }
+func (o *opSelect) kind() string             { return "select" }
+
+// ---------------------------------------------------------------------------
+// Project
+
+// opProject handles the projections that survive inlining (under unions, or
+// above joins keyed on computed columns) and never holds state (Section 4.2:
+// the PROJECT operator state is always empty). Bare column references pass
+// values — including lineage refs — through untouched; computed expressions
+// are evaluated (the compiler guarantees they are deterministic here).
+type opProject struct {
+	emitCounts
+	node  *plan.Project
+	child operator
+}
+
+func (o *opProject) apply(rows []delta.Row, bc *batchContext) []delta.Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]delta.Row, 0, len(rows))
+	for _, r := range rows {
+		vals := make([]rel.Value, len(o.node.Exprs))
+		for i, e := range o.node.Exprs {
+			if col, ok := e.(*expr.Col); ok {
+				vals[i] = r.Vals[col.Idx] // pass refs through
+				continue
+			}
+			vals[i] = e.Eval(r.Vals, bc)
+		}
+		out = append(out, delta.Row{Vals: vals, Mult: r.Mult, W: r.W})
+	}
+	return out
+}
+
+func (o *opProject) step(bc *batchContext) (output, error) {
+	in, err := o.child.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	out := output{news: o.apply(in.news, bc), unc: o.apply(in.unc, bc)}
+	o.record(out)
+	return out, nil
+}
+
+func (o *opProject) snapshot() interface{} { return nil }
+func (o *opProject) restore(interface{})   {}
+func (o *opProject) stateBytes() int       { return 0 }
+func (o *opProject) kind() string          { return "project" }
+
+// ---------------------------------------------------------------------------
+// Union
+
+// opUnion is stateless (Section 4.2).
+type opUnion struct {
+	emitCounts
+	node *plan.Union
+	l, r operator
+}
+
+func (o *opUnion) step(bc *batchContext) (output, error) {
+	lo, err := o.l.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	ro, err := o.r.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	out := output{
+		news: append(lo.news, ro.news...),
+		unc:  append(lo.unc, ro.unc...),
+	}
+	o.record(out)
+	return out, nil
+}
+
+func (o *opUnion) snapshot() interface{} { return nil }
+func (o *opUnion) restore(interface{})   {}
+func (o *opUnion) stateBytes() int       { return 0 }
+func (o *opUnion) kind() string          { return "union" }
+
+// ---------------------------------------------------------------------------
+// Join
+
+// opJoin implements the JOIN delta rule (Section 4.2): each side's certain
+// rows are cached iff the opposite side may still produce rows (new or
+// tuple-uncertain) in later batches — so a streamed fact joined with static
+// dimension tables caches only the dimensions, the optimization the paper
+// calls out. The tuple-uncertain output combinations (U_L ⋈ C_R, C_L ⋈ U_R,
+// U_L ⋈ U_R) are recomputed every batch.
+type opJoin struct {
+	emitCounts
+	node           *plan.Join
+	l, r           operator
+	lStore, rStore *delta.HashStore
+	lw             int // left schema width
+}
+
+func newOpJoin(t *plan.Join, l, r operator, cacheL, cacheR bool) *opJoin {
+	op := &opJoin{node: t, l: l, r: r, lw: len(t.L.Schema())}
+	if cacheL {
+		op.lStore = delta.NewHashStore(t.LKeys)
+	}
+	if cacheR {
+		op.rStore = delta.NewHashStore(t.RKeys)
+	}
+	return op
+}
+
+func (o *opJoin) joinRows(l, r delta.Row) delta.Row {
+	vals := make([]rel.Value, 0, len(l.Vals)+len(r.Vals))
+	vals = append(vals, l.Vals...)
+	vals = append(vals, r.Vals...)
+	return delta.Row{Vals: vals, Mult: l.Mult * r.Mult, W: delta.CombineWeights(l.W, r.W)}
+}
+
+func (o *opJoin) step(bc *batchContext) (output, error) {
+	lo, err := o.l.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	ro, err := o.r.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	lKeys, rKeys := o.node.LKeys, o.node.RKeys
+	var out output
+	// Exchange accounting: a keyed join repartitions both inputs by key;
+	// a cross join broadcasts the (small) right side.
+	if bc.metrics != nil {
+		n := 0
+		for _, r := range lo.news {
+			n += r.SizeBytes()
+		}
+		for _, r := range lo.unc {
+			n += r.SizeBytes()
+		}
+		m := 0
+		for _, r := range ro.news {
+			m += r.SizeBytes()
+		}
+		for _, r := range ro.unc {
+			m += r.SizeBytes()
+		}
+		if len(lKeys) == 0 {
+			bc.metrics.RecordShuffleBytes(0)
+			if m > 0 {
+				bc.metrics.RecordShuffleBytes(m) // broadcast of the scalar side
+			}
+		} else {
+			bc.metrics.RecordShuffleBytes(n + m)
+		}
+	}
+	// Certain deltas (classic delta-join over the certain parts):
+	// ΔL ⋈ C_R(old), C_L(old) ⋈ ΔR, ΔL ⋈ ΔR.
+	if o.rStore != nil {
+		for _, l := range lo.news {
+			for _, r := range o.rStore.Probe(l.Vals, lKeys) {
+				out.news = append(out.news, o.joinRows(l, r))
+			}
+		}
+	}
+	if o.lStore != nil {
+		for _, r := range ro.news {
+			for _, l := range o.lStore.Probe(r.Vals, rKeys) {
+				out.news = append(out.news, o.joinRows(l, r))
+			}
+		}
+	}
+	if len(lo.news) > 0 && len(ro.news) > 0 {
+		newR := delta.NewHashStore(rKeys)
+		for _, r := range ro.news {
+			newR.Add(r)
+		}
+		for _, l := range lo.news {
+			for _, r := range newR.Probe(l.Vals, lKeys) {
+				out.news = append(out.news, o.joinRows(l, r))
+			}
+		}
+	}
+	// Fold this batch's certain rows into the stores.
+	if o.lStore != nil {
+		for _, l := range lo.news {
+			o.lStore.Add(l.Clone())
+		}
+	}
+	if o.rStore != nil {
+		for _, r := range ro.news {
+			o.rStore.Add(r.Clone())
+		}
+	}
+	// Tuple-uncertain combinations, recomputed every batch:
+	// U_L ⋈ C_R, C_L ⋈ U_R, U_L ⋈ U_R.
+	bc.recomputed += len(lo.unc) + len(ro.unc)
+	if len(lo.unc) > 0 {
+		if o.rStore == nil && len(ro.news) == 0 && len(ro.unc) == 0 {
+			return output{}, fmt.Errorf("core: join #%d: left tuple uncertainty requires a cached right side", o.node.ID())
+		}
+		if o.rStore != nil {
+			for _, l := range lo.unc {
+				for _, r := range o.rStore.Probe(l.Vals, lKeys) {
+					out.unc = append(out.unc, o.joinRows(l, r))
+				}
+			}
+		}
+	}
+	if len(ro.unc) > 0 && o.lStore != nil {
+		for _, r := range ro.unc {
+			for _, l := range o.lStore.Probe(r.Vals, rKeys) {
+				out.unc = append(out.unc, o.joinRows(l, r))
+			}
+		}
+	}
+	if len(lo.unc) > 0 && len(ro.unc) > 0 {
+		uncR := delta.NewHashStore(rKeys)
+		for _, r := range ro.unc {
+			uncR.Add(r)
+		}
+		for _, l := range lo.unc {
+			for _, r := range uncR.Probe(l.Vals, lKeys) {
+				out.unc = append(out.unc, o.joinRows(l, r))
+			}
+		}
+	}
+	o.record(out)
+	return out, nil
+}
+
+type joinSnap struct {
+	l, r *delta.HashSnap
+}
+
+func (o *opJoin) snapshot() interface{} {
+	s := joinSnap{}
+	if o.lStore != nil {
+		s.l = o.lStore.Snapshot()
+	}
+	if o.rStore != nil {
+		s.r = o.rStore.Snapshot()
+	}
+	return s
+}
+
+func (o *opJoin) restore(snap interface{}) {
+	s := snap.(joinSnap)
+	if o.lStore != nil {
+		o.lStore.Restore(s.l)
+	}
+	if o.rStore != nil {
+		o.rStore.Restore(s.r)
+	}
+}
+
+func (o *opJoin) stateBytes() int {
+	n := 0
+	if o.lStore != nil {
+		n += o.lStore.SizeBytes()
+	}
+	if o.rStore != nil {
+		n += o.rStore.SizeBytes()
+	}
+	return n
+}
+
+func (o *opJoin) kind() string { return "join" }
+
+// ---------------------------------------------------------------------------
+// Sink
+
+// opSink is the virtual SINK operator (Section 4.2): it accumulates the
+// certain result rows, re-receives the tuple-uncertain ones each batch, and
+// materialises the partial result Q(D_i, m_i) with bootstrap error
+// estimates.
+type opSink struct {
+	emitCounts
+	child  operator
+	exprs  []expr.Expr
+	names  []string
+	unc    []bool // which output columns can be uncertain
+	schema rel.Schema
+	// scaleExp is the root's streamed-scan exponent: result tuples of a
+	// non-aggregated query logically carry multiplicity m_i^k (Section 2).
+	scaleExp int
+
+	certain delta.RowSet
+	lastUnc []delta.Row
+}
+
+func (o *opSink) step(bc *batchContext) (output, error) {
+	in, err := o.child.step(bc)
+	if err != nil {
+		return output{}, err
+	}
+	for _, r := range in.news {
+		o.certain.Add(r.Clone())
+	}
+	bc.recomputed += len(in.unc)
+	o.lastUnc = o.lastUnc[:0]
+	for _, r := range in.unc {
+		o.lastUnc = append(o.lastUnc, r.Clone())
+	}
+	o.newsN, o.uncN = len(in.news), len(in.unc)
+	return output{}, nil
+}
+
+// materialize renders the current partial result with error estimates.
+// Rows are independent, so large results materialise partition-parallel.
+func (o *opSink) materialize(bc *batchContext) (*rel.Relation, [][]bootstrap.Estimate) {
+	scale := 1.0
+	for k := 0; k < o.scaleExp; k++ {
+		scale *= bc.scale
+	}
+	rows := make([]delta.Row, 0, o.certain.Len()+len(o.lastUnc))
+	rows = append(rows, o.certain.Rows...)
+	rows = append(rows, o.lastUnc...)
+	res := rel.NewRelation(o.schema)
+	res.Tuples = make([]rel.Tuple, len(rows))
+	ests := make([][]bootstrap.Estimate, len(rows))
+	emit := func(idx int) {
+		r := rows[idx]
+		vals := make([]rel.Value, len(o.exprs))
+		rowEst := make([]bootstrap.Estimate, len(o.exprs))
+		for i, e := range o.exprs {
+			v := e.Eval(r.Vals, bc)
+			vals[i] = v
+			if o.unc[i] && bc.trials > 0 && !bc.exact && v.IsNumeric() {
+				reps := make([]float64, bc.trials)
+				for b := 0; b < bc.trials; b++ {
+					rv := e.EvalRep(r.Vals, bc, b)
+					if rv.IsNumeric() {
+						reps[b] = rv.Float()
+					} else {
+						reps[b] = math.NaN()
+					}
+				}
+				rowEst[i] = bootstrap.Summarize(v.Float(), reps)
+			} else if v.IsNumeric() {
+				rowEst[i] = bootstrap.Estimate{Value: v.Float()}
+			}
+		}
+		res.Tuples[idx] = rel.Tuple{Vals: vals, Mult: r.Mult * scale}
+		ests[idx] = rowEst
+	}
+	if bc.pool != nil && len(rows) >= 64 && bc.trials > 0 {
+		bc.pool.Map(len(rows), emit)
+	} else {
+		for i := range rows {
+			emit(i)
+		}
+	}
+	return res, ests
+}
+
+// sinkSnap is a truncation snapshot: the certain set is append-only with
+// immutable rows (cloned on arrival), so its length suffices; lastUnc is
+// transient and recomputed by the replay batch.
+type sinkSnap struct {
+	certainLen int
+}
+
+func (o *opSink) snapshot() interface{} {
+	return sinkSnap{certainLen: o.certain.Len()}
+}
+
+func (o *opSink) restore(snap interface{}) {
+	s := snap.(sinkSnap)
+	o.certain.Rows = o.certain.Rows[:s.certainLen]
+	o.lastUnc = o.lastUnc[:0]
+}
+
+func (o *opSink) stateBytes() int { return o.certain.SizeBytes() }
+func (o *opSink) kind() string    { return "sink" }

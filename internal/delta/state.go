@@ -1,0 +1,184 @@
+// Package delta provides the operator-state machinery of the delta update
+// algorithm (Section 4.2): the collections of tuples each online operator
+// must remember between mini-batches, with snapshot/restore support for the
+// failure-recovery protocol of Section 5.1, and byte accounting for the
+// state-size experiments (Figures 9(b) and 10(c)).
+//
+// It also implements the classical delta update rules of Figure 1
+// (rules.go), which iOLAP's algorithm subsumes on flat SPJA queries; the
+// property tests in this package check that subsumption directly.
+package delta
+
+import "iolap/internal/rel"
+
+// Row is the unit of dataflow between online operators: a tuple, its
+// bootstrap Poisson weight vector (nil for rows not derived from a streamed
+// relation), and the key under which it entered the operator (memoised for
+// cheap state management).
+type Row struct {
+	Vals []rel.Value
+	Mult float64
+	W    []float64
+}
+
+// Clone deep-copies the row's values (weights are immutable and shared).
+func (r Row) Clone() Row {
+	vals := make([]rel.Value, len(r.Vals))
+	copy(vals, r.Vals)
+	return Row{Vals: vals, Mult: r.Mult, W: r.W}
+}
+
+// SizeBytes estimates the row's memory footprint (weights counted: the paper
+// ships bootstrap multiplicity columns with each tuple).
+func (r Row) SizeBytes() int {
+	n := 24 + 8*len(r.W)
+	for _, v := range r.Vals {
+		n += v.SizeBytes()
+	}
+	return n
+}
+
+// CombineWeights multiplies two Poisson weight vectors element-wise; nil
+// means "all ones" (non-streamed provenance) and is absorbed.
+func CombineWeights(a, b []float64) []float64 {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		w := b[i]
+		if i >= len(b) {
+			w = 1
+		}
+		out[i] = a[i] * w
+	}
+	return out
+}
+
+// RowSet is an ordered collection of rows — the generic operator state (a
+// select's non-deterministic set U_i, a sink's pending set, an aggregate's
+// lineage rows).
+type RowSet struct {
+	Rows []Row
+}
+
+// Add appends a row.
+func (s *RowSet) Add(r Row) { s.Rows = append(s.Rows, r) }
+
+// Len returns the number of rows.
+func (s *RowSet) Len() int { return len(s.Rows) }
+
+// Clear empties the set, keeping capacity.
+func (s *RowSet) Clear() { s.Rows = s.Rows[:0] }
+
+// SizeBytes estimates the state footprint.
+func (s *RowSet) SizeBytes() int {
+	n := 24
+	for _, r := range s.Rows {
+		n += r.SizeBytes()
+	}
+	return n
+}
+
+// Snapshot deep-copies the set.
+func (s *RowSet) Snapshot() *RowSet {
+	out := &RowSet{Rows: make([]Row, len(s.Rows))}
+	for i, r := range s.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Restore replaces the contents with a snapshot (which must not be mutated
+// afterwards; Restore re-clones).
+func (s *RowSet) Restore(snap *RowSet) {
+	s.Rows = make([]Row, len(snap.Rows))
+	for i, r := range snap.Rows {
+		s.Rows[i] = r.Clone()
+	}
+}
+
+// HashStore is a join side's accumulated certain rows, hashed by join key
+// (Section 4.2's JOIN state). Insertion order is preserved per key for
+// deterministic replay.
+type HashStore struct {
+	keys []int // key column indexes
+	m    map[string][]Row
+	n    int
+	size int
+}
+
+// NewHashStore builds a store hashing on the given column indexes.
+func NewHashStore(keyCols []int) *HashStore {
+	return &HashStore{keys: keyCols, m: make(map[string][]Row)}
+}
+
+// Add inserts a row under its key.
+func (h *HashStore) Add(r Row) {
+	k := rel.EncodeKey(r.Vals, h.keys)
+	h.m[k] = append(h.m[k], r)
+	h.n++
+	h.size += r.SizeBytes()
+}
+
+// Probe returns the rows matching the key columns of probe (resolved through
+// the probe-side key indexes).
+func (h *HashStore) Probe(probeVals []rel.Value, probeKeys []int) []Row {
+	return h.m[rel.EncodeKey(probeVals, probeKeys)]
+}
+
+// Each visits all stored rows.
+func (h *HashStore) Each(fn func(Row)) {
+	for _, rows := range h.m {
+		for _, r := range rows {
+			fn(r)
+		}
+	}
+}
+
+// Len returns the number of stored rows.
+func (h *HashStore) Len() int { return h.n }
+
+// SizeBytes estimates the state footprint.
+func (h *HashStore) SizeBytes() int { return 48 + h.size }
+
+// HashSnap is a truncation snapshot of a HashStore. The store is
+// append-only and rows are immutable once added (Add clones), so a snapshot
+// needs only the per-key lengths — O(keys) instead of O(rows), which keeps
+// the controller's per-batch snapshots cheap even when a join caches an
+// entire fact side.
+type HashSnap struct {
+	perKey map[string]int
+	n      int
+	size   int
+}
+
+// Snapshot records the current per-key lengths.
+func (h *HashStore) Snapshot() *HashSnap {
+	s := &HashSnap{perKey: make(map[string]int, len(h.m)), n: h.n, size: h.size}
+	for k, rows := range h.m {
+		s.perKey[k] = len(rows)
+	}
+	return s
+}
+
+// Restore truncates the store back to a snapshot taken from it. Only valid
+// for snapshots of this store's own past (rows are never mutated in place,
+// so truncation recovers the exact earlier contents).
+func (h *HashStore) Restore(snap *HashSnap) {
+	for k, rows := range h.m {
+		want, ok := snap.perKey[k]
+		if !ok {
+			delete(h.m, k)
+			continue
+		}
+		if want < len(rows) {
+			h.m[k] = rows[:want]
+		}
+	}
+	h.n = snap.n
+	h.size = snap.size
+}

@@ -1,0 +1,241 @@
+// Package exec implements the exact batch executor: it evaluates a logical
+// plan over fully materialised relations under the bag semantics with real
+// multiplicities of Appendix A. It plays two roles in the repository:
+//
+//   - the *baseline* OLAP engine the paper compares against (unmodified
+//     SparkSQL in Section 8): one shot over all the data, exact answer;
+//   - the test oracle for Theorem 1: iOLAP's batch-i output must equal
+//     Run(Q, D_i) with streamed tuples carrying multiplicity m_i.
+package exec
+
+import (
+	"fmt"
+
+	"iolap/internal/agg"
+	"iolap/internal/plan"
+	"iolap/internal/rel"
+)
+
+// DB is a named collection of materialised relations.
+type DB struct {
+	tables map[string]*rel.Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*rel.Relation)} }
+
+// Put registers (or replaces) a table.
+func (db *DB) Put(name string, r *rel.Relation) { db.tables[name] = r }
+
+// Get looks up a table.
+func (db *DB) Get(name string) (*rel.Relation, bool) {
+	r, ok := db.tables[name]
+	return r, ok
+}
+
+// Tables returns the table names (unordered).
+func (db *DB) Tables() []string {
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Run evaluates the plan against the database and returns the result
+// relation. The plan must be finalized and valid.
+func Run(root plan.Node, db *DB) (*rel.Relation, error) {
+	e := &executor{db: db}
+	return e.eval(root)
+}
+
+type executor struct {
+	db *DB
+}
+
+func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		src, ok := e.db.Get(t.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q", t.Table)
+		}
+		out := rel.NewRelation(t.Out)
+		out.Tuples = append(out.Tuples, src.Tuples...)
+		return out, nil
+
+	case *plan.Select:
+		in, err := e.eval(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		out := rel.NewRelation(in.Schema)
+		for _, tp := range in.Tuples {
+			v := t.Pred.Eval(tp.Vals, nil)
+			if !v.IsNull() && v.Kind() == rel.KBool && v.Bool() {
+				out.Tuples = append(out.Tuples, tp)
+			}
+		}
+		return out, nil
+
+	case *plan.Project:
+		in, err := e.eval(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		out := rel.NewRelation(t.Out)
+		for _, tp := range in.Tuples {
+			vals := make([]rel.Value, len(t.Exprs))
+			for i, ex := range t.Exprs {
+				vals[i] = ex.Eval(tp.Vals, nil)
+			}
+			out.AppendMult(tp.Mult, vals...)
+		}
+		return out, nil
+
+	case *plan.Join:
+		l, err := e.eval(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return hashJoin(l, r, t.LKeys, t.RKeys, t.Out), nil
+
+	case *plan.Union:
+		l, err := e.eval(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(t.R)
+		if err != nil {
+			return nil, err
+		}
+		out := rel.NewRelation(l.Schema)
+		out.Tuples = append(out.Tuples, l.Tuples...)
+		out.Tuples = append(out.Tuples, r.Tuples...)
+		return out, nil
+
+	case *plan.Aggregate:
+		in, err := e.eval(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return Aggregate(in, t, 1.0), nil
+
+	default:
+		return nil, fmt.Errorf("exec: unknown node %T", n)
+	}
+}
+
+// hashJoin performs the equi-join of two materialised relations.
+func hashJoin(l, r *rel.Relation, lKeys, rKeys []int, out rel.Schema) *rel.Relation {
+	res := rel.NewRelation(out)
+	// Build on the smaller side (by physical tuple count).
+	if len(r.Tuples) <= len(l.Tuples) {
+		build := make(map[string][]rel.Tuple)
+		for _, rt := range r.Tuples {
+			k := rel.EncodeKey(rt.Vals, rKeys)
+			build[k] = append(build[k], rt)
+		}
+		for _, lt := range l.Tuples {
+			k := rel.EncodeKey(lt.Vals, lKeys)
+			for _, rt := range build[k] {
+				res.Tuples = append(res.Tuples, joinTuple(lt, rt))
+			}
+		}
+		return res
+	}
+	build := make(map[string][]rel.Tuple)
+	for _, lt := range l.Tuples {
+		k := rel.EncodeKey(lt.Vals, lKeys)
+		build[k] = append(build[k], lt)
+	}
+	for _, rt := range r.Tuples {
+		k := rel.EncodeKey(rt.Vals, rKeys)
+		for _, lt := range build[k] {
+			res.Tuples = append(res.Tuples, joinTuple(lt, rt))
+		}
+	}
+	return res
+}
+
+func joinTuple(l, r rel.Tuple) rel.Tuple {
+	vals := make([]rel.Value, 0, len(l.Vals)+len(r.Vals))
+	vals = append(vals, l.Vals...)
+	vals = append(vals, r.Vals...)
+	return rel.Tuple{Vals: vals, Mult: l.Mult * r.Mult}
+}
+
+// Aggregate evaluates a group-by/aggregate node over a materialised input
+// with the given extensive scale factor. It is exported because the online
+// engines reuse it for recomputation paths.
+func Aggregate(in *rel.Relation, t *plan.Aggregate, scale float64) *rel.Relation {
+	type group struct {
+		key  []rel.Value
+		accs []agg.Accumulator
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, tp := range in.Tuples {
+		if tp.Mult == 0 {
+			continue
+		}
+		k := rel.EncodeKey(tp.Vals, t.GroupBy)
+		g, ok := groups[k]
+		if !ok {
+			key := make([]rel.Value, len(t.GroupBy))
+			for i, c := range t.GroupBy {
+				key[i] = tp.Vals[c]
+			}
+			accs := make([]agg.Accumulator, len(t.Aggs))
+			for i, sp := range t.Aggs {
+				accs[i] = sp.Fn.New()
+			}
+			g = &group{key: key, accs: accs}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, sp := range t.Aggs {
+			if sp.Arg == nil {
+				g.accs[i].Add(0, tp.Mult) // COUNT(*)
+				continue
+			}
+			v := sp.Arg.Eval(tp.Vals, nil)
+			if v.IsNull() {
+				continue
+			}
+			if sp.Fn.AcceptsAny {
+				g.accs[i].Add(v.NumericKey(), tp.Mult)
+				continue
+			}
+			if !v.IsNumeric() {
+				continue
+			}
+			g.accs[i].Add(v.Float(), tp.Mult)
+		}
+	}
+	// SQL semantics: a global aggregate (no GROUP BY) over empty input
+	// still yields one row (COUNT = 0, AVG = NaN/NULL-like).
+	if len(t.GroupBy) == 0 && len(order) == 0 {
+		accs := make([]agg.Accumulator, len(t.Aggs))
+		for i, sp := range t.Aggs {
+			accs[i] = sp.Fn.New()
+		}
+		groups[""] = &group{accs: accs}
+		order = append(order, "")
+	}
+	out := rel.NewRelation(t.Out)
+	for _, k := range order {
+		g := groups[k]
+		vals := make([]rel.Value, 0, len(g.key)+len(g.accs))
+		vals = append(vals, g.key...)
+		for _, acc := range g.accs {
+			vals = append(vals, rel.Float(acc.Result(scale)))
+		}
+		out.Append(vals...)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/rel"
+)
+
+// repFixture builds a resolver with one uncertain value (reps [9, 11],
+// running 10, range [8, 12]) and a row [ref, 5.0].
+func repFixture() (Resolver, []rel.Value) {
+	ref := rel.Ref{Op: 1}
+	res := &stubResolver{refs: map[rel.Ref]UncValue{
+		ref: {Value: rel.Float(10), Reps: []float64{9, 11}, Range: bootstrap.Interval{Lo: 8, Hi: 12}},
+	}}
+	return res, []rel.Value{rel.NewRef(ref), rel.Float(5)}
+}
+
+func TestEvalRepThroughArithmetic(t *testing.T) {
+	res, row := repFixture()
+	// (u + $1) * 2: replicate 0 = (9+5)*2 = 28, replicate 1 = 32.
+	e := NewArith(Mul,
+		NewArith(Add, col(0, rel.KFloat), col(1, rel.KFloat)),
+		cf(2))
+	if got := e.EvalRep(row, res, 0).Float(); got != 28 {
+		t.Errorf("rep0 = %v, want 28", got)
+	}
+	if got := e.EvalRep(row, res, 1).Float(); got != 32 {
+		t.Errorf("rep1 = %v, want 32", got)
+	}
+	if got := e.Eval(row, res).Float(); got != 30 {
+		t.Errorf("running = %v, want 30", got)
+	}
+}
+
+func TestEvalRepThroughComparisonAndLogic(t *testing.T) {
+	res, row := repFixture()
+	// u > 10: rep0 (9) false, rep1 (11) true.
+	gt := NewCmp(Gt, col(0, rel.KFloat), cf(10))
+	if gt.EvalRep(row, res, 0).Bool() {
+		t.Error("rep0: 9 > 10 should be false")
+	}
+	if !gt.EvalRep(row, res, 1).Bool() {
+		t.Error("rep1: 11 > 10 should be true")
+	}
+	tt := NewConst(rel.Bool(true))
+	if !NewAnd(gt, tt).EvalRep(row, res, 1).Bool() {
+		t.Error("AND rep eval")
+	}
+	if !NewOr(gt, tt).EvalRep(row, res, 0).Bool() {
+		t.Error("OR rep eval")
+	}
+	if NewNot(tt).EvalRep(row, res, 0).Bool() {
+		t.Error("NOT rep eval")
+	}
+	if NewNeg(col(0, rel.KFloat)).EvalRep(row, res, 1).Float() != -11 {
+		t.Error("Neg rep eval")
+	}
+}
+
+func TestEvalRepThroughCaseInFunc(t *testing.T) {
+	res, row := repFixture()
+	// CASE WHEN u > 10 THEN 1 ELSE 0 END flips per replicate.
+	c := NewCase([]Expr{NewCmp(Gt, col(0, rel.KFloat), cf(10)), cf(1)}, cf(0))
+	if c.EvalRep(row, res, 0).Float() != 0 || c.EvalRep(row, res, 1).Float() != 1 {
+		t.Error("CASE must evaluate per replicate")
+	}
+	// Case without else, rep path.
+	noElse := NewCase([]Expr{NewCmp(Gt, col(0, rel.KFloat), cf(100)), cf(1)}, nil)
+	if !noElse.EvalRep(row, res, 0).IsNull() {
+		t.Error("CASE without ELSE should be NULL per replicate too")
+	}
+	// IN per replicate: 9 in (9) true; 11 in (9) false.
+	in := NewIn(col(0, rel.KFloat), []Expr{cf(9)}, false)
+	if !in.EvalRep(row, res, 0).Bool() || in.EvalRep(row, res, 1).Bool() {
+		t.Error("IN must evaluate per replicate")
+	}
+	// Function call per replicate.
+	reg := NewRegistry()
+	absF, _ := reg.Lookup("ABS")
+	call, _ := NewFunc(absF, []Expr{NewNeg(col(0, rel.KFloat))})
+	if call.EvalRep(row, res, 1).Float() != 11 {
+		t.Error("Func must evaluate per replicate")
+	}
+}
+
+func TestTriOnNonComparisons(t *testing.T) {
+	res, row := repFixture()
+	// Tri on a Col holding a boolean.
+	boolRow := []rel.Value{rel.Bool(true)}
+	if col(0, rel.KBool).Tri(boolRow, nil) != True {
+		t.Error("bool col tri")
+	}
+	// Tri on Const non-bool is False.
+	if cf(3).Tri(nil, nil) != False {
+		t.Error("numeric const tri should be false")
+	}
+	if NewConst(rel.Bool(true)).Tri(nil, nil) != True {
+		t.Error("bool const tri")
+	}
+	// Tri on IN and Func and Case evaluates exactly.
+	in := NewIn(cf(1), []Expr{cf(1)}, false)
+	if in.Tri(nil, nil) != True {
+		t.Error("IN tri")
+	}
+	reg := NewRegistry()
+	f, _ := reg.Lookup("IF")
+	call, _ := NewFunc(f, []Expr{NewConst(rel.Bool(true)), NewConst(rel.Bool(true)), NewConst(rel.Bool(false))})
+	if call.Tri(nil, nil) != True {
+		t.Error("Func tri")
+	}
+	caseB := NewCase([]Expr{NewConst(rel.Bool(true)), NewConst(rel.Bool(true))}, nil)
+	if caseB.Tri(nil, nil) != True {
+		t.Error("Case tri")
+	}
+	// Arith/Neg Tri is always False (not predicates).
+	if NewArith(Add, cf(1), cf(1)).Tri(nil, nil) != False {
+		t.Error("arith tri")
+	}
+	if NewNeg(cf(1)).Tri(row, res) != False {
+		t.Error("neg tri")
+	}
+	_ = row
+}
+
+func TestIntervalPanicsOnBooleanNodes(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	b := NewCmp(Eq, cf(1), cf(1))
+	mustPanic("cmp", func() { b.Interval(nil, nil) })
+	mustPanic("and", func() { NewAnd(b, b).Interval(nil, nil) })
+	mustPanic("or", func() { NewOr(b, b).Interval(nil, nil) })
+	mustPanic("not", func() { NewNot(b).Interval(nil, nil) })
+	mustPanic("in", func() { NewIn(cf(1), []Expr{cf(1)}, false).Interval(nil, nil) })
+	mustPanic("string const", func() { cs("x").Interval(nil, nil) })
+	mustPanic("string col", func() {
+		col(0, rel.KString).Interval([]rel.Value{rel.String("x")}, nil)
+	})
+	mustPanic("nil resolver ref", func() {
+		col(0, rel.KFloat).Eval([]rel.Value{rel.NewRef(rel.Ref{})}, nil)
+	})
+}
+
+func TestIntervalDivAndModConservative(t *testing.T) {
+	res, row := repFixture()
+	// Division by an interval crossing zero widens to Full.
+	e := NewArith(Div, cf(1), NewArith(Sub, col(0, rel.KFloat), cf(10)))
+	iv := e.Interval(row, res) // u-10 spans [-2,2] around 0
+	if !math.IsInf(iv.Lo, -1) || !math.IsInf(iv.Hi, 1) {
+		t.Errorf("div across zero should be Full, got %v", iv)
+	}
+	// Mod is always conservative.
+	m := NewArith(Mod, col(0, rel.KFloat), cf(3))
+	iv = m.Interval(row, res)
+	if !math.IsInf(iv.Lo, -1) {
+		t.Errorf("mod interval should be Full, got %v", iv)
+	}
+}
+
+func TestArithIntDivisionProducesFloat(t *testing.T) {
+	e := NewArith(Div, ci(7), ci(2))
+	if got := e.Eval(nil, nil); got.Float() != 3.5 {
+		t.Errorf("7/2 = %v, want 3.5 (SQL-style real division)", got)
+	}
+	if e.Type() != rel.KFloat {
+		t.Error("division type must be FLOAT")
+	}
+	if NewArith(Add, ci(1), ci(2)).Type() != rel.KInt {
+		t.Error("int+int stays INT")
+	}
+	if NewArith(Add, ci(1), cf(2)).Type() != rel.KFloat {
+		t.Error("int+float widens")
+	}
+}
+
+func TestEvalRepDefaultsWithoutRefs(t *testing.T) {
+	// Pure deterministic expressions: EvalRep == Eval for any b.
+	e := NewArith(Mul, cf(3), cf(4))
+	if e.EvalRep(nil, nil, 17).Float() != 12 {
+		t.Error("deterministic EvalRep must match Eval")
+	}
+}
+
+func TestCmpNaNNeverMatches(t *testing.T) {
+	nan := NewConst(rel.Float(math.NaN()))
+	for _, op := range []CmpOp{Lt, Le, Gt, Ge} {
+		if NewCmp(op, nan, cf(1)).Eval(nil, nil).Bool() {
+			t.Errorf("NaN %v 1 must be false", op)
+		}
+	}
+}
+
+func TestColStringAndOpStrings(t *testing.T) {
+	if NewCol(3, "", rel.KFloat).String() != "$3" {
+		t.Error("anonymous col rendering")
+	}
+	ops := map[string]Expr{
+		"%": NewArith(Mod, ci(5), ci(2)),
+		">": NewCmp(Gt, ci(1), ci(0)),
+	}
+	for want, e := range ops {
+		if s := e.String(); !contains(s, want) {
+			t.Errorf("%T rendering %q missing %q", e, s, want)
+		}
+	}
+	if Unknown.String() != "unknown" || True.String() != "true" || False.String() != "false" {
+		t.Error("Tri rendering")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

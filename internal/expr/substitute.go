@@ -1,0 +1,59 @@
+package expr
+
+import "fmt"
+
+// Substitute returns a copy of e in which every column reference Col{i} is
+// replaced by subs[i]. The online query rewriter uses it to inline PROJECT
+// operators into their consumers so that rows flowing between online
+// operators carry only base values and lineage references — the compiler
+// half of the lineage propagation of Section 6.1 (deterministic
+// sub-expressions are folded into the consumer, uncertain attributes stay
+// behind references).
+func Substitute(e Expr, subs []Expr) Expr {
+	switch t := e.(type) {
+	case *Col:
+		if t.Idx < 0 || t.Idx >= len(subs) {
+			panic(fmt.Sprintf("expr: substitute index %d out of range %d", t.Idx, len(subs)))
+		}
+		return subs[t.Idx]
+	case *Const:
+		return t
+	case *Arith:
+		return &Arith{Op: t.Op, L: Substitute(t.L, subs), R: Substitute(t.R, subs)}
+	case *Neg:
+		return &Neg{E: Substitute(t.E, subs)}
+	case *Cmp:
+		return &Cmp{Op: t.Op, L: Substitute(t.L, subs), R: Substitute(t.R, subs)}
+	case *And:
+		return &And{L: Substitute(t.L, subs), R: Substitute(t.R, subs)}
+	case *Or:
+		return &Or{L: Substitute(t.L, subs), R: Substitute(t.R, subs)}
+	case *Not:
+		return &Not{E: Substitute(t.E, subs)}
+	case *Func:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Substitute(a, subs)
+		}
+		return &Func{F: t.F, Args: args}
+	case *Case:
+		out := &Case{}
+		for _, w := range t.Whens {
+			out.Whens = append(out.Whens, struct {
+				Cond Expr
+				Then Expr
+			}{Substitute(w.Cond, subs), Substitute(w.Then, subs)})
+		}
+		if t.Else != nil {
+			out.Else = Substitute(t.Else, subs)
+		}
+		return out
+	case *In:
+		list := make([]Expr, len(t.List))
+		for i, item := range t.List {
+			list[i] = Substitute(item, subs)
+		}
+		return &In{E: Substitute(t.E, subs), List: list, Inv: t.Inv}
+	}
+	panic(fmt.Sprintf("expr: cannot substitute %T", e))
+}

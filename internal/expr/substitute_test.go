@@ -1,0 +1,128 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"iolap/internal/rel"
+)
+
+func TestSubstituteBasics(t *testing.T) {
+	// e = $0 + 2*$1 ; subs = [$3, abs($4)]
+	reg := NewRegistry()
+	absF, _ := reg.Lookup("ABS")
+	absCall, _ := NewFunc(absF, []Expr{NewCol(4, "", rel.KFloat)})
+	e := NewArith(Add,
+		NewCol(0, "", rel.KFloat),
+		NewArith(Mul, NewConst(rel.Float(2)), NewCol(1, "", rel.KFloat)))
+	out := Substitute(e, []Expr{NewCol(3, "", rel.KFloat), absCall})
+	row := []rel.Value{rel.Float(0), rel.Float(0), rel.Float(0), rel.Float(10), rel.Float(-4)}
+	if got := out.Eval(row, nil); got.Float() != 18 { // 10 + 2*|−4|
+		t.Errorf("substituted eval = %v, want 18", got)
+	}
+	// The original must be untouched.
+	row2 := []rel.Value{rel.Float(1), rel.Float(2), rel.Float(0), rel.Float(0), rel.Float(0)}
+	if got := e.Eval(row2, nil); got.Float() != 5 {
+		t.Errorf("original mutated: %v", got)
+	}
+}
+
+func TestSubstituteAllNodeKinds(t *testing.T) {
+	subs := []Expr{NewConst(rel.Float(7)), NewConst(rel.String("x"))}
+	cases := []Expr{
+		NewNeg(NewCol(0, "", rel.KFloat)),
+		NewCmp(Lt, NewCol(0, "", rel.KFloat), NewConst(rel.Float(9))),
+		NewAnd(NewConst(rel.Bool(true)), NewCmp(Eq, NewCol(1, "", rel.KString), NewConst(rel.String("x")))),
+		NewOr(NewCmp(Eq, NewCol(1, "", rel.KString), NewConst(rel.String("y"))), NewConst(rel.Bool(false))),
+		NewNot(NewCmp(Gt, NewCol(0, "", rel.KFloat), NewConst(rel.Float(100)))),
+		NewCase([]Expr{
+			NewCmp(Gt, NewCol(0, "", rel.KFloat), NewConst(rel.Float(5))),
+			NewConst(rel.Float(1))}, NewConst(rel.Float(0))),
+		NewIn(NewCol(1, "", rel.KString), []Expr{NewConst(rel.String("x"))}, false),
+	}
+	for _, e := range cases {
+		out := Substitute(e, subs)
+		// All column references must be gone (constants only).
+		if cols := out.Cols(nil); len(cols) != 0 {
+			t.Errorf("%s: substitution left columns %v", e, cols)
+		}
+		// Result should evaluate without a row at all.
+		v := out.Eval(nil, nil)
+		if v.IsNull() && e.Type() != rel.KNull {
+			t.Errorf("%s: unexpected NULL after substitution", e)
+		}
+	}
+}
+
+func TestSubstituteOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range substitution")
+		}
+	}()
+	Substitute(NewCol(3, "", rel.KFloat), []Expr{NewConst(rel.Float(1))})
+}
+
+// Property: for random arithmetic trees, Substitute(e, identity) evaluates
+// identically to e.
+func TestSubstituteIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	identity := []Expr{
+		NewCol(0, "", rel.KFloat),
+		NewCol(1, "", rel.KFloat),
+		NewCol(2, "", rel.KFloat),
+	}
+	var gen func(depth int) Expr
+	gen = func(depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return NewCol(rng.Intn(3), "", rel.KFloat)
+			}
+			return NewConst(rel.Float(float64(rng.Intn(20) - 10)))
+		}
+		ops := []ArithOp{Add, Sub, Mul}
+		return NewArith(ops[rng.Intn(len(ops))], gen(depth-1), gen(depth-1))
+	}
+	for trial := 0; trial < 500; trial++ {
+		e := gen(4)
+		sub := Substitute(e, identity)
+		row := []rel.Value{
+			rel.Float(rng.Float64() * 10),
+			rel.Float(rng.Float64() * 10),
+			rel.Float(rng.Float64() * 10),
+		}
+		a, b := e.Eval(row, nil), sub.Eval(row, nil)
+		if !a.Equal(b) {
+			t.Fatalf("identity substitution changed semantics: %v vs %v for %s", a, b, e)
+		}
+	}
+}
+
+// Property: Substitute composes — substituting f into e then evaluating
+// equals evaluating e over a row extended by f's values.
+func TestSubstituteCompositionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		// e over 2 columns; subs computes those from a base row of 3.
+		e := NewArith(Add,
+			NewArith(Mul, NewCol(0, "", rel.KFloat), NewConst(rel.Float(2))),
+			NewCol(1, "", rel.KFloat))
+		subs := []Expr{
+			NewArith(Sub, NewCol(2, "", rel.KFloat), NewCol(0, "", rel.KFloat)),
+			NewArith(Mul, NewCol(1, "", rel.KFloat), NewCol(1, "", rel.KFloat)),
+		}
+		composed := Substitute(e, subs)
+		base := []rel.Value{
+			rel.Float(float64(rng.Intn(10))),
+			rel.Float(float64(rng.Intn(10))),
+			rel.Float(float64(rng.Intn(10))),
+		}
+		inner0 := subs[0].Eval(base, nil)
+		inner1 := subs[1].Eval(base, nil)
+		direct := e.Eval([]rel.Value{inner0, inner1}, nil)
+		got := composed.Eval(base, nil)
+		if !direct.Equal(got) {
+			t.Fatalf("composition mismatch: %v vs %v", direct, got)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment runtimes test-friendly.
+func tinyCfg() Config {
+	return Config{
+		TPCHFact:        500,
+		ConvivaSessions: 400,
+		Batches:         4,
+		Trials:          15,
+		Slack:           2.0,
+		Seed:            5,
+		Runs:            2,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			results, err := e.Run(tinyCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(results) == 0 {
+				t.Fatalf("%s: no results", e.ID)
+			}
+			for _, r := range results {
+				if len(r.Rows) == 0 {
+					t.Errorf("%s: empty series %q", e.ID, r.Title)
+				}
+				var buf bytes.Buffer
+				r.Print(&buf)
+				if !strings.Contains(buf.String(), r.ID) {
+					t.Errorf("%s: print output missing id", e.ID)
+				}
+				for _, row := range r.Rows {
+					if len(row) != len(r.Header) {
+						t.Errorf("%s: row width %d != header %d", e.ID, len(row), len(r.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig7a"); !ok {
+		t.Error("fig7a missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unexpected experiment")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	// Every figure/table of the evaluation section is covered.
+	want := []string{"table1", "fig7a", "fig7b", "fig7c", "fig8ab", "fig8cd",
+		"fig8ef", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9fg",
+		"fig10ab", "fig10c", "fig10d", "fig10ef"}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	results, err := Fig7a(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	// Relative stdev at the final batch must be ~0 (exact answer) and the
+	// early batches must carry positive uncertainty.
+	firstRSD := parseF(t, r.Rows[0][3])
+	lastRSD := parseF(t, r.Rows[len(r.Rows)-1][3])
+	if firstRSD <= 0 {
+		t.Errorf("first batch rel stdev = %v, want > 0", firstRSD)
+	}
+	if lastRSD > firstRSD {
+		t.Errorf("rel stdev should shrink: first %v last %v", firstRSD, lastRSD)
+	}
+	// Fractions must be increasing to 1.0.
+	if got := r.Rows[len(r.Rows)-1][1]; got != "1.00" {
+		t.Errorf("final fraction = %s", got)
+	}
+}
+
+func TestFig8RecomputedShrinksRelativeToHDA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	cfg := tinyCfg()
+	cfg.Batches = 6
+	results, err := Fig8ef(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each nested query, the tuples recomputed in the final batch must
+	// stay a small fraction of the accumulated input — HDA would be
+	// recomputing (nearly) all of it (paper 8.2: "almost negligible
+	// compared to the average number of incoming tuples per batch").
+	for _, r := range results {
+		total := float64(cfg.ConvivaSessions)
+		if strings.Contains(r.Title, "tpch") {
+			total = float64(cfg.TPCHFact)
+		}
+		for _, row := range r.Rows {
+			last := parseF(t, row[len(row)-1])
+			if last > 0.6*total {
+				t.Errorf("%s: final-batch recomputation %v is not small vs input %v: %v",
+					row[0], last, total, row[1:])
+			}
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.TPCHFact <= 0 || c.Batches <= 0 || c.Trials <= 0 || c.Slack == 0 || c.Runs <= 0 {
+		t.Errorf("defaults incomplete: %+v", c)
+	}
+	pinned := Config{TPCHFact: 7, Batches: 3}.WithDefaults()
+	if pinned.TPCHFact != 7 || pinned.Batches != 3 {
+		t.Error("explicit values must be preserved")
+	}
+}

@@ -1,0 +1,310 @@
+// Package plan defines logical query plans and the compile-time analyses the
+// paper performs on them: uncertainty tagging (Section 4.1), lineage block
+// partitioning (Section 6.1), and the viewlet-transformation rewrites of
+// Appendix B.
+//
+// Plans are built from the positive relational algebra the paper supports
+// (Section 3.3): SELECT, PROJECT, JOIN (equi/natural), UNION and AGGREGATE.
+// Nested aggregate subqueries are expressed — exactly as in the paper's
+// Figure 2(a) — as a join between the outer block and the subquery's
+// aggregate output.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"iolap/internal/agg"
+	"iolap/internal/expr"
+	"iolap/internal/rel"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema is the operator's output schema.
+	Schema() rel.Schema
+	// Children returns the input operators.
+	Children() []Node
+	// ID is the plan-unique operator id (assigned by Finalize); it keys
+	// lineage references and operator states.
+	ID() int
+	setID(id int)
+	// Describe renders one line for plan printing.
+	Describe() string
+}
+
+type base struct {
+	id int
+}
+
+func (b *base) ID() int      { return b.id }
+func (b *base) setID(id int) { b.id = id }
+
+// Scan reads a base relation. Streamed scans are fed mini-batch by
+// mini-batch; non-streamed ("dimension") scans are read fully at batch 1.
+type Scan struct {
+	base
+	Table    string
+	Alias    string
+	Streamed bool
+	Out      rel.Schema
+}
+
+// NewScan builds a scan node; alias defaults to the table name.
+func NewScan(table, alias string, schema rel.Schema, streamed bool) *Scan {
+	if alias == "" {
+		alias = table
+	}
+	return &Scan{Table: table, Alias: alias, Streamed: streamed, Out: schema.WithTable(alias)}
+}
+
+func (s *Scan) Schema() rel.Schema { return s.Out }
+func (s *Scan) Children() []Node   { return nil }
+func (s *Scan) Describe() string {
+	mode := "static"
+	if s.Streamed {
+		mode = "streamed"
+	}
+	return fmt.Sprintf("Scan(%s AS %s, %s)", s.Table, s.Alias, mode)
+}
+
+// Select filters rows by a predicate.
+type Select struct {
+	base
+	Child Node
+	Pred  expr.Expr
+}
+
+// NewSelect builds a filter node.
+func NewSelect(child Node, pred expr.Expr) *Select {
+	return &Select{Child: child, Pred: pred}
+}
+
+func (s *Select) Schema() rel.Schema { return s.Child.Schema() }
+func (s *Select) Children() []Node   { return []Node{s.Child} }
+func (s *Select) Describe() string   { return "Select(" + s.Pred.String() + ")" }
+
+// Project computes output expressions (SQL projection, no dedup).
+type Project struct {
+	base
+	Child Node
+	Exprs []expr.Expr
+	Names []string
+	Out   rel.Schema
+}
+
+// NewProject builds a projection; names label the output columns.
+func NewProject(child Node, exprs []expr.Expr, names []string) *Project {
+	out := make(rel.Schema, len(exprs))
+	for i, e := range exprs {
+		out[i] = rel.Column{Name: names[i], Type: e.Type()}
+	}
+	return &Project{Child: child, Exprs: exprs, Names: names, Out: out}
+}
+
+func (p *Project) Schema() rel.Schema { return p.Out }
+func (p *Project) Children() []Node   { return []Node{p.Child} }
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String() + " AS " + p.Names[i]
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Join is an equi-join (natural join after key resolution); empty key lists
+// make it a cross join — the shape scalar subqueries compile to.
+type Join struct {
+	base
+	L, R         Node
+	LKeys, RKeys []int // parallel column-index lists; len 0 = cross join
+	Out          rel.Schema
+}
+
+// NewJoin builds an equi-join on the given key column indexes.
+func NewJoin(l, r Node, lKeys, rKeys []int) *Join {
+	if len(lKeys) != len(rKeys) {
+		panic("plan: join key arity mismatch")
+	}
+	return &Join{L: l, R: r, LKeys: lKeys, RKeys: rKeys,
+		Out: l.Schema().Concat(r.Schema())}
+}
+
+func (j *Join) Schema() rel.Schema { return j.Out }
+func (j *Join) Children() []Node   { return []Node{j.L, j.R} }
+func (j *Join) Describe() string {
+	if len(j.LKeys) == 0 {
+		return "Join(cross)"
+	}
+	ls, rs := j.L.Schema(), j.R.Schema()
+	parts := make([]string, len(j.LKeys))
+	for i := range j.LKeys {
+		parts[i] = ls[j.LKeys[i]].QualifiedName() + "=" + rs[j.RKeys[i]].QualifiedName()
+	}
+	return "Join(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Union is bag union (UNION ALL).
+type Union struct {
+	base
+	L, R Node
+}
+
+// NewUnion builds a bag union; the input schemas must be compatible.
+func NewUnion(l, r Node) *Union {
+	if !l.Schema().Equal(r.Schema()) {
+		panic(fmt.Sprintf("plan: union schema mismatch: %s vs %s", l.Schema(), r.Schema()))
+	}
+	return &Union{L: l, R: r}
+}
+
+func (u *Union) Schema() rel.Schema { return u.L.Schema() }
+func (u *Union) Children() []Node   { return []Node{u.L, u.R} }
+func (u *Union) Describe() string   { return "Union" }
+
+// AggSpec is one aggregate in an AGGREGATE operator.
+type AggSpec struct {
+	Fn   *agg.Func
+	Arg  expr.Expr // nil for COUNT(*)
+	Name string    // output column name
+}
+
+// Aggregate groups by column indexes and computes aggregates.
+type Aggregate struct {
+	base
+	Child   Node
+	GroupBy []int
+	Aggs    []AggSpec
+	Out     rel.Schema
+}
+
+// NewAggregate builds a group-by/aggregate node. Output schema is the
+// group-by columns followed by one column per aggregate.
+func NewAggregate(child Node, groupBy []int, aggs []AggSpec) *Aggregate {
+	cs := child.Schema()
+	out := make(rel.Schema, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		out = append(out, cs[g])
+	}
+	for _, a := range aggs {
+		out = append(out, rel.Column{Name: a.Name, Type: rel.KFloat})
+	}
+	return &Aggregate{Child: child, GroupBy: groupBy, Aggs: aggs, Out: out}
+}
+
+func (a *Aggregate) Schema() rel.Schema { return a.Out }
+func (a *Aggregate) Children() []Node   { return []Node{a.Child} }
+func (a *Aggregate) Describe() string {
+	cs := a.Child.Schema()
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, cs[g].QualifiedName())
+	}
+	for _, sp := range a.Aggs {
+		arg := "*"
+		if sp.Arg != nil {
+			arg = sp.Arg.String()
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s) AS %s", sp.Fn.Name, arg, sp.Name))
+	}
+	return "Aggregate(" + strings.Join(parts, ", ") + ")"
+}
+
+// Walk visits the plan bottom-up (children before parents).
+func Walk(n Node, fn func(Node)) {
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+	fn(n)
+}
+
+// Finalize assigns plan-unique operator ids in bottom-up order and returns
+// the number of operators. It must be called once before execution.
+func Finalize(root Node) int {
+	id := 0
+	Walk(root, func(n Node) {
+		n.setID(id)
+		id++
+	})
+	return id
+}
+
+// Format renders the plan as an indented tree.
+func Format(root Node) string {
+	var b strings.Builder
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "#%d %s\n", n.ID(), n.Describe())
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+	return b.String()
+}
+
+// Fingerprint renders the plan structure without operator ids; two plans
+// with equal fingerprints are structurally identical. Used by the
+// factorization rewrite and by tests.
+func Fingerprint(n Node) string {
+	var b strings.Builder
+	var rec func(Node)
+	rec = func(n Node) {
+		b.WriteString(n.Describe())
+		b.WriteByte('[')
+		for i, c := range n.Children() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			rec(c)
+		}
+		b.WriteByte(']')
+	}
+	rec(n)
+	return b.String()
+}
+
+// StreamedScans returns the streamed scan nodes in the plan.
+func StreamedScans(root Node) []*Scan {
+	var out []*Scan
+	Walk(root, func(n Node) {
+		if s, ok := n.(*Scan); ok && s.Streamed {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// ScaleExp returns, per node id, the number of streamed scans in that node's
+// subtree *below any intervening aggregate*. Aggregate outputs are values
+// about D_i, so they reset the exponent: an extensive aggregate multiplies
+// its raw result by m_i^k where k is its input's exponent.
+func ScaleExp(root Node, numOps int) []int {
+	exp := make([]int, numOps)
+	Walk(root, func(n Node) {
+		switch t := n.(type) {
+		case *Scan:
+			if t.Streamed {
+				exp[n.ID()] = 1
+			}
+		case *Aggregate:
+			exp[n.ID()] = 0
+		case *Union:
+			// A union row comes from one input, so it is scaled once:
+			// take the max, not the sum. (Mixing streamed and static
+			// union sides is outside the supported class.)
+			for _, c := range n.Children() {
+				if exp[c.ID()] > exp[n.ID()] {
+					exp[n.ID()] = exp[c.ID()]
+				}
+			}
+		default:
+			// Joins multiply multiplicities: exponents add.
+			for _, c := range n.Children() {
+				exp[n.ID()] += exp[c.ID()]
+			}
+		}
+	})
+	return exp
+}

@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"iolap/internal/agg"
+	"iolap/internal/expr"
+	"iolap/internal/rel"
+)
+
+// Appendix B: the viewlet-transformation optimizations of DBToaster,
+// expressed as plan rewriting rules. Combined with the delta update rules of
+// Section 4.2 these achieve DBToaster's higher-order delta updates; the HDA
+// baseline engine applies them before execution.
+
+// Rewriter applies viewlet rewrites until fixpoint.
+type Rewriter struct {
+	aggs *agg.Registry
+}
+
+// NewRewriter builds a rewriter using the given aggregate registry.
+func NewRewriter(aggs *agg.Registry) *Rewriter { return &Rewriter{aggs: aggs} }
+
+// Rewrite applies the rules bottom-up once per pass, iterating until no rule
+// fires (bounded by plan depth). It returns the rewritten plan; Finalize
+// must be re-run afterwards.
+func (rw *Rewriter) Rewrite(root Node) Node {
+	for pass := 0; pass < 8; pass++ {
+		var changed bool
+		root, changed = rw.pass(root)
+		if !changed {
+			return root
+		}
+	}
+	return root
+}
+
+func (rw *Rewriter) pass(n Node) (Node, bool) {
+	changed := false
+	switch t := n.(type) {
+	case *Select:
+		c, ch := rw.pass(t.Child)
+		if ch {
+			t = NewSelect(c, t.Pred)
+			changed = true
+		}
+		return t, changed
+	case *Project:
+		c, ch := rw.pass(t.Child)
+		if ch {
+			t = NewProject(c, t.Exprs, t.Names)
+			changed = true
+		}
+		return t, changed
+	case *Join:
+		l, chL := rw.pass(t.L)
+		r, chR := rw.pass(t.R)
+		if chL || chR {
+			t = NewJoin(l, r, t.LKeys, t.RKeys)
+			changed = true
+		}
+		return t, changed
+	case *Union:
+		l, chL := rw.pass(t.L)
+		r, chR := rw.pass(t.R)
+		if chL || chR {
+			t = NewUnion(l, r)
+			changed = true
+		}
+		// Factorization (Appendix B, Eq. 2): (Q ⋈ Q1) ∪ (Q ⋈ Q2)
+		// = Q ⋈ (Q1 ∪ Q2) when the shared side is structurally the
+		// same subplan.
+		if jl, okL := l.(*Join); okL {
+			if jr, okR := r.(*Join); okR &&
+				Fingerprint(jl.L) == Fingerprint(jr.L) &&
+				keysEqual(jl.LKeys, jr.LKeys) && keysEqual(jl.RKeys, jr.RKeys) &&
+				jl.R.Schema().Equal(jr.R.Schema()) {
+				return NewJoin(jl.L, NewUnion(jl.R, jr.R), jl.LKeys, jl.RKeys), true
+			}
+		}
+		return t, changed
+	case *Aggregate:
+		c, ch := rw.pass(t.Child)
+		if ch {
+			t = NewAggregate(c, t.GroupBy, t.Aggs)
+			changed = true
+		}
+		if nt, fired := rw.decompose(t); fired {
+			return nt, true
+		}
+		return t, changed
+	default:
+		return n, false
+	}
+}
+
+func keysEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decompose implements Query Decomposition (Appendix B, Eq. 1): a SUM over
+// a key-partitioned cross/equi join where every aggregate argument reads
+// only one side pushes partial group-by aggregates below the join, shrinking
+// the join state from |Q| to the number of distinct keys.
+//
+//	γ_{AB, SUM(f1*f2)}(Q1 ⋈ Q2)
+//	  = γ_{AB, SUM(s1*s2)}(γ_{A,SUM(f1)}(Q1) ⋈ γ_{B,SUM(f2)}(Q2))
+//
+// The recognized pattern here is the common special case with a single SUM
+// or COUNT whose argument reads only the left side, group-by columns split
+// cleanly across sides, and equi-join keys that are all group-by columns.
+func (rw *Rewriter) decompose(a *Aggregate) (Node, bool) {
+	j, ok := a.Child.(*Join)
+	if !ok || len(a.Aggs) != 1 {
+		return nil, false
+	}
+	sp := a.Aggs[0]
+	if sp.Fn.Name != "SUM" && sp.Fn.Name != "COUNT" {
+		return nil, false
+	}
+	lw := len(j.L.Schema())
+	// Aggregate argument must read only left-side columns.
+	if sp.Arg != nil {
+		for _, c := range sp.Arg.Cols(nil) {
+			if c >= lw {
+				return nil, false
+			}
+		}
+	}
+	// All group-by columns must be left-side and include all left join
+	// keys (so pre-aggregation preserves the join).
+	leftKeys := map[int]bool{}
+	for _, k := range j.LKeys {
+		leftKeys[k] = true
+	}
+	gbSet := map[int]bool{}
+	for _, g := range a.GroupBy {
+		if g >= lw {
+			return nil, false
+		}
+		gbSet[g] = true
+	}
+	for k := range leftKeys {
+		if !gbSet[k] {
+			return nil, false
+		}
+	}
+	// The right side must contribute only existence (no columns used):
+	// recognized when the join is a semijoin-shaped filter. Require the
+	// right side to be an Aggregate already (a subquery result), so the
+	// rewrite is the nested-aggregate decorrelation shape of Eq. 4.
+	if _, rAgg := j.R.(*Aggregate); !rAgg {
+		return nil, false
+	}
+	// Push the aggregate below the join on the left side. The outer
+	// aggregate always SUMs the partials (COUNT partials re-aggregate
+	// with SUM).
+	innerFn, _ := rw.aggs.Lookup(sp.Fn.Name)
+	sumFn, _ := rw.aggs.Lookup("SUM")
+	inner := NewAggregate(j.L, a.GroupBy, []AggSpec{{Fn: innerFn, Arg: sp.Arg, Name: "__partial"}})
+	// New join: keys map from old left indexes to inner output positions.
+	pos := make(map[int]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		pos[g] = i
+	}
+	newLKeys := make([]int, len(j.LKeys))
+	for i, k := range j.LKeys {
+		newLKeys[i] = pos[k]
+	}
+	nj := NewJoin(inner, j.R, newLKeys, j.RKeys)
+	// Outer aggregate sums the partials, grouped by the same keys.
+	outGB := make([]int, len(a.GroupBy))
+	for i := range a.GroupBy {
+		outGB[i] = i
+	}
+	partialCol := expr.NewCol(len(a.GroupBy), "__partial", rel.KFloat)
+	outer := NewAggregate(nj, outGB, []AggSpec{{Fn: sumFn, Arg: partialCol, Name: sp.Name}})
+	return outer, true
+}

@@ -1,0 +1,120 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Table is the qualifier (base table name or alias); may be empty for
+	// computed columns.
+	Table string
+	// Name is the attribute name.
+	Name string
+	// Type is the declared kind (KFloat subsumes KInt in expressions).
+	Type Kind
+}
+
+// QualifiedName renders "table.name" or just "name" when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Resolve finds the index of a possibly-qualified column reference. It
+// returns an error when the name is unknown or ambiguous.
+func (s Schema) Resolve(table, name string) (int, error) {
+	idx := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if idx >= 0 {
+			return -1, fmt.Errorf("rel: ambiguous column %q", name)
+		}
+		idx = i
+	}
+	if idx < 0 {
+		ref := name
+		if table != "" {
+			ref = table + "." + name
+		}
+		return -1, fmt.Errorf("rel: unknown column %q in schema %s", ref, s)
+	}
+	return idx, nil
+}
+
+// MustResolve is Resolve for statically known-good names; it panics on error.
+func (s Schema) MustResolve(table, name string) int {
+	i, err := s.Resolve(table, name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Concat returns the concatenation of two schemas (join output shape).
+func (s Schema) Concat(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	return out
+}
+
+// WithTable returns a copy of the schema with every column requalified,
+// used when a relation is aliased in FROM.
+func (s Schema) WithTable(table string) Schema {
+	out := make(Schema, len(s))
+	for i, c := range s {
+		c.Table = table
+		out[i] = c
+	}
+	return out
+}
+
+// Names returns the bare column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a INT, b FLOAT, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports structural equality of two schemas (names and types).
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i].Name != o[i].Name || s[i].Type != o[i].Type {
+			return false
+		}
+	}
+	return true
+}

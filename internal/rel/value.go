@@ -1,0 +1,272 @@
+// Package rel implements the relational data model used throughout iOLAP:
+// typed values, schemas, tuples and bag-semantics relations whose tuple
+// multiplicities are real numbers, following Appendix A of the paper.
+//
+// The one extension over a textbook model is the Ref value kind: an
+// uncertain attribute (one produced by an aggregate over incomplete data) is
+// stored in a row not as a number but as a lazy reference to the producing
+// aggregate operator's current output. Resolving a Ref at use time is the
+// paper's lineage-based lazy evaluation (Section 6).
+package rel
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime types a Value can take.
+type Kind uint8
+
+const (
+	KNull Kind = iota
+	KBool
+	KInt
+	KFloat
+	KString
+	// KRef marks a lazy reference to an uncertain aggregate output
+	// (lineage). The referenced value is resolved against the current
+	// batch context when the attribute is actually used.
+	KRef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "NULL"
+	case KBool:
+		return "BOOL"
+	case KInt:
+		return "INT"
+	case KFloat:
+		return "FLOAT"
+	case KString:
+		return "STRING"
+	case KRef:
+		return "REF"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Ref is block-wise lineage for one uncertain attribute (Definition 1 of the
+// paper, after the AGGREGATE modification): a unique reference to the output
+// relation of an aggregate operator plus the group-by key of the tuple the
+// attribute came from.
+type Ref struct {
+	Op  int    // plan-unique id of the producing aggregate operator
+	Key string // encoded group-by key ("" for global aggregates)
+	Col int    // column index within the aggregate's output schema
+}
+
+// Value is a compact tagged union. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64   // KInt, KBool (0/1)
+	f    float64 // KFloat
+	s    string  // KString, Ref.Key
+	op   int32   // Ref.Op
+	col  int32   // Ref.Col
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value {
+	v := Value{kind: KBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Int wraps an int64.
+func Int(i int64) Value { return Value{kind: KInt, i: i} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{kind: KFloat, f: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KString, s: s} }
+
+// NewRef wraps a lineage reference to an uncertain aggregate attribute.
+func NewRef(r Ref) Value {
+	return Value{kind: KRef, s: r.Key, op: int32(r.Op), col: int32(r.Col)}
+}
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KNull }
+
+// IsRef reports whether the value is an unresolved lineage reference.
+func (v Value) IsRef() bool { return v.kind == KRef }
+
+// Bool returns the boolean payload; it panics on other kinds.
+func (v Value) Bool() bool {
+	if v.kind != KBool {
+		panic("rel: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Int returns the integer payload; it panics on other kinds.
+func (v Value) Int() int64 {
+	if v.kind != KInt {
+		panic("rel: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Str returns the string payload; it panics on other kinds.
+func (v Value) Str() string {
+	if v.kind != KString {
+		panic("rel: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Ref returns the lineage payload; it panics on other kinds.
+func (v Value) Ref() Ref {
+	if v.kind != KRef {
+		panic("rel: Ref() on " + v.kind.String())
+	}
+	return Ref{Op: int(v.op), Key: v.s, Col: int(v.col)}
+}
+
+// Float returns the numeric payload widened to float64. Ints widen; other
+// kinds panic. Use IsNumeric first when the kind is not statically known.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KFloat:
+		return v.f
+	case KInt:
+		return float64(v.i)
+	}
+	panic("rel: Float() on " + v.kind.String())
+}
+
+// IsNumeric reports whether the value is an INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KInt || v.kind == KFloat }
+
+// Equal reports deep equality, with INT/FLOAT compared numerically.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.Float() == o.Float()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KNull:
+		return true
+	case KBool, KInt:
+		return v.i == o.i
+	case KFloat:
+		return v.f == o.f
+	case KString:
+		return v.s == o.s
+	case KRef:
+		return v.op == o.op && v.col == o.col && v.s == o.s
+	}
+	return false
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts first; numeric kinds
+// compare numerically; cross-kind comparisons order by Kind. Comparing a Ref
+// panics — refs must be resolved before comparison.
+func (v Value) Compare(o Value) int {
+	if v.kind == KRef || o.kind == KRef {
+		panic("rel: Compare on unresolved Ref")
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KNull:
+		return 0
+	case KBool, KInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// String renders the value for display and key encoding.
+func (v Value) String() string {
+	switch v.kind {
+	case KNull:
+		return "NULL"
+	case KBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KInt:
+		return strconv.FormatInt(v.i, 10)
+	case KFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return strconv.FormatFloat(v.f, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(v.f, 'g', 6, 64)
+	case KString:
+		return v.s
+	case KRef:
+		return fmt.Sprintf("ref(%d,%q,%d)", v.op, v.s, v.col)
+	}
+	return "?"
+}
+
+// NumericKey maps the value onto a float64 usable as an aggregation input:
+// numeric values map to themselves; other kinds map to a 52-bit FNV-1a hash
+// of their kind-tagged rendering. Used by aggregates that accept arbitrary
+// values (COUNT(DISTINCT x)); collisions are astronomically unlikely at
+// realistic cardinalities.
+func (v Value) NumericKey() float64 {
+	if v.IsNumeric() {
+		return v.Float()
+	}
+	var h uint64 = 0xcbf29ce484222325
+	h ^= uint64(v.kind)
+	h *= 0x100000001b3
+	s := v.String()
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return float64(h >> 12) // fits the float64 mantissa exactly
+}
+
+// SizeBytes estimates the in-memory footprint of the value; used by the
+// operator-state and data-shipped metrics (Figures 9(b), 9(c)).
+func (v Value) SizeBytes() int {
+	// 24 bytes of struct overhead approximated per value.
+	return 24 + len(v.s)
+}

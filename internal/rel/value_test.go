@@ -1,0 +1,166 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KNull, "NULL"},
+		{Bool(true), KBool, "true"},
+		{Bool(false), KBool, "false"},
+		{Int(42), KInt, "42"},
+		{Int(-7), KInt, "-7"},
+		{Float(2.5), KFloat, "2.5"},
+		{Float(3), KFloat, "3.0"},
+		{String("abc"), KString, "abc"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(5).Int() != 5 {
+		t.Error("Int accessor")
+	}
+	if Float(1.5).Float() != 1.5 {
+		t.Error("Float accessor")
+	}
+	if Int(5).Float() != 5.0 {
+		t.Error("Int should widen to float")
+	}
+	if String("x").Str() != "x" {
+		t.Error("Str accessor")
+	}
+	if !Bool(true).Bool() {
+		t.Error("Bool accessor")
+	}
+	r := Ref{Op: 3, Key: "k", Col: 1}
+	if got := NewRef(r).Ref(); got != r {
+		t.Errorf("Ref roundtrip: got %+v want %+v", got, r)
+	}
+	if !NewRef(r).IsRef() {
+		t.Error("IsRef")
+	}
+	if !Null().IsNull() {
+		t.Error("IsNull")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { String("x").Int() })
+	mustPanic("Float on bool", func() { Bool(true).Float() })
+	mustPanic("Str on int", func() { Int(1).Str() })
+	mustPanic("Bool on null", func() { Null().Bool() })
+	mustPanic("Ref on int", func() { Int(1).Ref() })
+	mustPanic("Compare ref", func() { NewRef(Ref{}).Compare(Int(1)) })
+}
+
+func TestValueEqualNumericCross(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("3 == 3.0 should hold across kinds")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 != 3.5")
+	}
+	if Int(1).Equal(String("1")) {
+		t.Error("int 1 must not equal string \"1\"")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("NULL == NULL (as values)")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(2), Float(2.5), -1},
+		{Float(2.5), Int(2), 1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Null(), Int(0), -1}, // NULL sorts first (kind order)
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(5) {
+		case 0:
+			return Null()
+		case 1:
+			return Bool(r.Intn(2) == 1)
+		case 2:
+			return Int(int64(r.Intn(20) - 10))
+		case 3:
+			return Float(float64(r.Intn(40))/4 - 5)
+		default:
+			return String(string(rune('a' + r.Intn(4))))
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(r), gen(r)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated for %v vs %v", a, b)
+		}
+		if a.Compare(b) == 0 != (b.Compare(a) == 0) {
+			t.Fatalf("equality not symmetric for %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(x, y, z int64) bool {
+		a, b, c := Int(x), Int(y), Int(z)
+		// If a<=b and b<=c then a<=c.
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueSizeBytes(t *testing.T) {
+	if Int(1).SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+	if String("hello").SizeBytes() <= String("").SizeBytes() {
+		t.Error("longer strings must report larger sizes")
+	}
+}

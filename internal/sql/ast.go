@@ -1,0 +1,222 @@
+package sql
+
+import "strings"
+
+// The AST mirrors the supported SQL surface. Expression nodes are untyped;
+// the planner resolves names and lowers them to internal/expr.
+
+// Node is any AST node (marker).
+type Node interface{ astNode() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   ExprNode
+	GroupBy []ExprNode
+	Having  ExprNode
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+	// UnionAll chains another SELECT with bag-union semantics.
+	UnionAll *SelectStmt
+}
+
+func (*SelectStmt) astNode() {}
+
+// SelectItem is one output expression with an optional alias; Star marks
+// SELECT *.
+type SelectItem struct {
+	Expr  ExprNode
+	Alias string
+	Star  bool
+}
+
+// TableRef is one FROM entry: either a named table or a derived table.
+type TableRef struct {
+	Table    string
+	Alias    string
+	Subquery *SelectStmt // non-nil for derived tables
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr ExprNode
+	Desc bool
+}
+
+// ExprNode is an expression AST node.
+type ExprNode interface {
+	Node
+	exprNode()
+}
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Qual string // table or alias; may be empty
+	Name string
+}
+
+func (*Ident) astNode()  {}
+func (*Ident) exprNode() {}
+
+func (id *Ident) String() string {
+	if id.Qual == "" {
+		return id.Name
+	}
+	return id.Qual + "." + id.Name
+}
+
+// Lit is a literal: number, string, boolean or NULL.
+type Lit struct {
+	Num   float64
+	IsInt bool
+	Int   int64
+	Str   string
+	Bool  bool
+	Kind  LitKind
+}
+
+// LitKind discriminates literal types.
+type LitKind uint8
+
+// Literal kinds.
+const (
+	LitNumber LitKind = iota
+	LitString
+	LitBool
+	LitNull
+)
+
+func (*Lit) astNode()  {}
+func (*Lit) exprNode() {}
+
+// BinOp is a binary operator application (arithmetic, comparison, logic).
+type BinOp struct {
+	Op   string // "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R ExprNode
+}
+
+func (*BinOp) astNode()  {}
+func (*BinOp) exprNode() {}
+
+// UnOp is unary minus or NOT.
+type UnOp struct {
+	Op string // "-", "NOT"
+	E  ExprNode
+}
+
+func (*UnOp) astNode()  {}
+func (*UnOp) exprNode() {}
+
+// FuncCall is a scalar or aggregate function call; Star marks COUNT(*),
+// Distinct marks COUNT(DISTINCT x).
+type FuncCall struct {
+	Name     string
+	Args     []ExprNode
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncCall) astNode()  {}
+func (*FuncCall) exprNode() {}
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  ExprNode
+}
+
+// WhenClause is one WHEN...THEN arm.
+type WhenClause struct {
+	Cond ExprNode
+	Then ExprNode
+}
+
+func (*CaseExpr) astNode()  {}
+func (*CaseExpr) exprNode() {}
+
+// InExpr tests membership in a literal list or a subquery.
+type InExpr struct {
+	E    ExprNode
+	List []ExprNode  // non-empty for IN (a, b, ...)
+	Sub  *SelectStmt // non-nil for IN (SELECT ...)
+	Inv  bool        // NOT IN (lists only; NOT IN subquery needs set difference)
+}
+
+func (*InExpr) astNode()  {}
+func (*InExpr) exprNode() {}
+
+// BetweenExpr is x BETWEEN lo AND hi (sugar for two comparisons).
+type BetweenExpr struct {
+	E, Lo, Hi ExprNode
+	Inv       bool
+}
+
+func (*BetweenExpr) astNode()  {}
+func (*BetweenExpr) exprNode() {}
+
+// Subquery is a scalar subquery used as an expression operand.
+type Subquery struct {
+	Stmt *SelectStmt
+}
+
+func (*Subquery) astNode()  {}
+func (*Subquery) exprNode() {}
+
+// LikeExpr is a simple LIKE pattern match ('%' wildcards only).
+type LikeExpr struct {
+	E       ExprNode
+	Pattern string
+	Inv     bool
+}
+
+func (*LikeExpr) astNode()  {}
+func (*LikeExpr) exprNode() {}
+
+// containsAggregate reports whether the expression contains an aggregate
+// call, consulting isAgg for UDAF names.
+func containsAggregate(e ExprNode, isAgg func(name string) bool) bool {
+	switch t := e.(type) {
+	case nil:
+		return false
+	case *Ident, *Lit, *Subquery:
+		return false
+	case *FuncCall:
+		if isAgg(strings.ToUpper(t.Name)) {
+			return true
+		}
+		for _, a := range t.Args {
+			if containsAggregate(a, isAgg) {
+				return true
+			}
+		}
+		return false
+	case *BinOp:
+		return containsAggregate(t.L, isAgg) || containsAggregate(t.R, isAgg)
+	case *UnOp:
+		return containsAggregate(t.E, isAgg)
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			if containsAggregate(w.Cond, isAgg) || containsAggregate(w.Then, isAgg) {
+				return true
+			}
+		}
+		return containsAggregate(t.Else, isAgg)
+	case *InExpr:
+		if containsAggregate(t.E, isAgg) {
+			return true
+		}
+		for _, item := range t.List {
+			if containsAggregate(item, isAgg) {
+				return true
+			}
+		}
+		return false
+	case *BetweenExpr:
+		return containsAggregate(t.E, isAgg) || containsAggregate(t.Lo, isAgg) ||
+			containsAggregate(t.Hi, isAgg)
+	case *LikeExpr:
+		return containsAggregate(t.E, isAgg)
+	}
+	return false
+}

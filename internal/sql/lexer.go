@@ -1,0 +1,152 @@
+// Package sql implements the SQL front end: a lexer, a recursive-descent
+// parser, and a planner that lowers the AST onto the positive relational
+// algebra of internal/plan. Nested aggregate subqueries — the query class
+// the paper is about — compile to joins against the subquery's aggregate
+// output, exactly as in the paper's Figure 2(a):
+//
+//   - an uncorrelated scalar subquery becomes a cross join;
+//   - an equality-correlated scalar subquery is decorrelated into a
+//     group-by aggregate joined on the correlation keys (Appendix B, Eq. 4);
+//   - IN (subquery) becomes an equi-join against the deduplicated subquery.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // operators and punctuation
+)
+
+// Token is one lexical token with its source position (1-based offset).
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "JOIN": true,
+	"ON": true, "UNION": true, "ALL": true, "ASC": true, "DESC": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"DISTINCT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"INNER": true, "LIKE": true,
+}
+
+// Lex tokenizes a SQL string. It returns an error on unterminated strings or
+// unexpected characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// scientific notation
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && unicode.IsDigit(rune(input[j])) {
+					i = j
+					for i < n && unicode.IsDigit(rune(input[i])) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start + 1})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start+1)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start + 1})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start + 1})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start + 1})
+			}
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, Token{Kind: TokOp, Text: two, Pos: start + 1})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '+', '-', '*', '/', '%', '<', '>', '=':
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: start + 1})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start+1)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n + 1})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

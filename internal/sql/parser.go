@@ -1,0 +1,585 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement (optionally a UNION ALL chain).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("trailing input starting with %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errf("expected %s, got %q", want, p.cur().Text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().Pos,
+		fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	p.accept(TokKeyword, "DISTINCT") // tolerated; dedup via GROUP BY shape
+	// Select list.
+	for {
+		if p.accept(TokOp, "*") {
+			stmt.Items = append(stmt.Items, SelectItem{Star: true})
+			if !p.accept(TokOp, ",") {
+				break
+			}
+			continue
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := SelectItem{Expr: e}
+		if p.accept(TokKeyword, "AS") {
+			t, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = t.Text
+		} else if p.at(TokIdent, "") {
+			item.Alias = p.next().Text
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	// FROM.
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		refs, joinOn, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, refs...)
+		// Explicit JOIN ... ON chains desugar to comma-FROM + WHERE.
+		for _, on := range joinOn {
+			stmt.Where = conjoin(stmt.Where, on)
+		}
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	// WHERE.
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = conjoin(stmt.Where, e)
+	}
+	// GROUP BY.
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	// HAVING.
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	// ORDER BY.
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	// LIMIT.
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	// UNION ALL chain.
+	if p.accept(TokKeyword, "UNION") {
+		if _, err := p.expect(TokKeyword, "ALL"); err != nil {
+			return nil, p.errf("only UNION ALL is supported (positive algebra)")
+		}
+		rest, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.UnionAll = rest
+	}
+	return stmt, nil
+}
+
+// parseTableRef parses one FROM entry plus any explicit JOIN ... ON chain
+// hanging off it. Chained join operands flatten into the FROM list and their
+// ON conditions desugar into WHERE conjuncts (the planner re-extracts
+// equi-join keys from the WHERE clause).
+func (p *parser) parseTableRef() ([]TableRef, []ExprNode, error) {
+	ref, err := p.parseSingleRef()
+	if err != nil {
+		return nil, nil, err
+	}
+	refs := []TableRef{ref}
+	var ons []ExprNode
+	for {
+		p.accept(TokKeyword, "INNER")
+		if !p.accept(TokKeyword, "JOIN") {
+			break
+		}
+		right, err := p.parseSingleRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		refs = append(refs, right)
+		ons = append(ons, cond)
+	}
+	return refs, ons, nil
+}
+
+func (p *parser) parseSingleRef() (TableRef, error) {
+	if p.accept(TokOp, "(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return TableRef{}, err
+		}
+		ref := TableRef{Subquery: sub}
+		p.accept(TokKeyword, "AS")
+		if p.at(TokIdent, "") {
+			ref.Alias = p.next().Text
+		} else {
+			return TableRef{}, p.errf("derived table requires an alias")
+		}
+		return ref, nil
+	}
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: t.Text, Alias: t.Text}
+	p.accept(TokKeyword, "AS")
+	if p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func conjoin(a, b ExprNode) ExprNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &BinOp{Op: "AND", L: a, R: b}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() (ExprNode, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ExprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ExprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ExprNode, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (ExprNode, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// NOT IN / NOT BETWEEN / NOT LIKE
+	inv := false
+	if p.at(TokKeyword, "NOT") {
+		nt := p.toks[p.pos+1]
+		if nt.Kind == TokKeyword && (nt.Text == "IN" || nt.Text == "BETWEEN" || nt.Text == "LIKE") {
+			p.next()
+			inv = true
+		}
+	}
+	switch {
+	case p.accept(TokKeyword, "IN"):
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		if p.at(TokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{E: l, Sub: sub, Inv: inv}, nil
+		}
+		var list []ExprNode
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Inv: inv}, nil
+	case p.accept(TokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Inv: inv}, nil
+	case p.accept(TokKeyword, "LIKE"):
+		t, err := p.expect(TokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{E: l, Pattern: t.Text, Inv: inv}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(TokOp, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (ExprNode, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokOp, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "+", L: l, R: r}
+		case p.accept(TokOp, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (ExprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokOp, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "*", L: l, R: r}
+		case p.accept(TokOp, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "/", L: l, R: r}
+		case p.accept(TokOp, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (ExprNode, error) {
+	if p.accept(TokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ExprNode, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if !strings.ContainsAny(t.Text, ".eE") {
+			n, err := strconv.ParseInt(t.Text, 10, 64)
+			if err == nil {
+				return &Lit{Kind: LitNumber, IsInt: true, Int: n, Num: float64(n)}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Lit{Kind: LitNumber, Num: f}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &Lit{Kind: LitString, Str: t.Text}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return &Lit{Kind: LitNull}, nil
+	case t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE"):
+		p.next()
+		return &Lit{Kind: LitBool, Bool: t.Text == "TRUE"}, nil
+	case t.Kind == TokKeyword && t.Text == "CASE":
+		return p.parseCase()
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		if p.at(TokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &Subquery{Stmt: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		// Function call?
+		if p.accept(TokOp, "(") {
+			call := &FuncCall{Name: t.Text}
+			if p.accept(TokOp, "*") {
+				call.Star = true
+				if _, err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.accept(TokKeyword, "DISTINCT") {
+				call.Distinct = true
+			}
+			if !p.accept(TokOp, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.accept(TokOp, ".") {
+			c, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qual: t.Text, Name: c.Text}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}
+
+func (p *parser) parseCase() (ExprNode, error) {
+	if _, err := p.expect(TokKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.accept(TokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.accept(TokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(TokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

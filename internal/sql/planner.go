@@ -1,0 +1,575 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iolap/internal/agg"
+	"iolap/internal/expr"
+	"iolap/internal/plan"
+	"iolap/internal/rel"
+)
+
+// Catalog holds table schemas and the set of streamed tables (the paper lets
+// the user specify which input relations are processed online; typically the
+// fact table — Section 2).
+type Catalog struct {
+	schemas  map[string]rel.Schema
+	streamed map[string]bool
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{schemas: make(map[string]rel.Schema), streamed: make(map[string]bool)}
+}
+
+// AddTable registers a table schema; streamed tables are processed in
+// mini-batches, others read fully at batch 1.
+func (c *Catalog) AddTable(name string, schema rel.Schema, streamed bool) {
+	key := strings.ToLower(name)
+	c.schemas[key] = schema
+	c.streamed[key] = streamed
+}
+
+// Schema looks up a table schema.
+func (c *Catalog) Schema(name string) (rel.Schema, bool) {
+	s, ok := c.schemas[strings.ToLower(name)]
+	return s, ok
+}
+
+// Streamed reports whether the table is processed online.
+func (c *Catalog) Streamed(name string) bool {
+	return c.streamed[strings.ToLower(name)]
+}
+
+// PostProcess carries ORDER BY / LIMIT, applied to materialised results
+// outside the incremental plan (ordering is presentation, not algebra).
+type PostProcess struct {
+	Keys  []OrderKey
+	Limit int // -1 when absent
+}
+
+// OrderKey is one ORDER BY column resolved to an output position.
+type OrderKey struct {
+	Col  int
+	Desc bool
+}
+
+// Apply sorts and truncates a materialised result in place and returns it.
+func (pp *PostProcess) Apply(r *rel.Relation) *rel.Relation {
+	if pp == nil {
+		return r
+	}
+	if len(pp.Keys) > 0 {
+		sort.SliceStable(r.Tuples, func(i, j int) bool {
+			for _, k := range pp.Keys {
+				c := r.Tuples[i].Vals[k.Col].Compare(r.Tuples[j].Vals[k.Col])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if pp.Limit >= 0 && pp.Limit < len(r.Tuples) {
+		r.Tuples = r.Tuples[:pp.Limit]
+	}
+	return r
+}
+
+// Planner lowers parsed statements onto logical plans.
+type Planner struct {
+	cat     *Catalog
+	funcs   *expr.Registry
+	aggs    *agg.Registry
+	subqSeq int // suffix source for generated subquery qualifiers
+}
+
+// NewPlanner builds a planner over a catalog and function registries.
+func NewPlanner(cat *Catalog, funcs *expr.Registry, aggs *agg.Registry) *Planner {
+	return &Planner{cat: cat, funcs: funcs, aggs: aggs}
+}
+
+// Plan lowers a statement to a finalized, validated plan plus its
+// post-processing spec.
+func (pl *Planner) Plan(stmt *SelectStmt) (plan.Node, *PostProcess, error) {
+	node, pp, err := pl.planSelect(stmt, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.Finalize(node)
+	if err := plan.Validate(node); err != nil {
+		return nil, nil, err
+	}
+	return node, pp, nil
+}
+
+func (pl *Planner) isAgg(name string) bool {
+	_, ok := pl.aggs.Lookup(name)
+	return ok
+}
+
+// planSelect lowers one SELECT (and any UNION ALL chain). outer is the
+// enclosing scope schema for correlated subqueries (nil at top level).
+func (pl *Planner) planSelect(stmt *SelectStmt, outer rel.Schema) (plan.Node, *PostProcess, error) {
+	node, err := pl.planSingle(stmt, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	for u := stmt.UnionAll; u != nil; u = u.UnionAll {
+		right, err := pl.planSingle(u, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !node.Schema().Equal(right.Schema()) {
+			return nil, nil, fmt.Errorf("sql: UNION ALL schema mismatch: %s vs %s",
+				node.Schema(), right.Schema())
+		}
+		node = plan.NewUnion(node, right)
+	}
+	pp := &PostProcess{Limit: stmt.Limit}
+	for _, o := range stmt.OrderBy {
+		idx, err := pl.resolveOrderKey(o.Expr, node.Schema(), stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		pp.Keys = append(pp.Keys, OrderKey{Col: idx, Desc: o.Desc})
+	}
+	return node, pp, nil
+}
+
+func (pl *Planner) resolveOrderKey(e ExprNode, out rel.Schema, stmt *SelectStmt) (int, error) {
+	id, ok := e.(*Ident)
+	if !ok {
+		return 0, fmt.Errorf("sql: ORDER BY supports output column names only")
+	}
+	if idx, err := out.Resolve(id.Qual, id.Name); err == nil {
+		return idx, nil
+	}
+	// Fall back to select-item position by alias.
+	for i, item := range stmt.Items {
+		if strings.EqualFold(item.Alias, id.Name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: unknown ORDER BY column %q", id)
+}
+
+// planSingle lowers one SELECT block (no UNION chain).
+func (pl *Planner) planSingle(stmt *SelectStmt, outer rel.Schema) (plan.Node, error) {
+	if len(stmt.Items) == 0 {
+		return nil, fmt.Errorf("sql: empty select list")
+	}
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sql: FROM is required")
+	}
+	// 1. FROM nodes.
+	node, err := pl.planFromJoin(stmt, outer)
+	if err != nil {
+		return nil, err
+	}
+	return pl.finishSelect(stmt, node, outer)
+}
+
+// planFromJoin builds the join tree over the FROM list, consuming equi-join
+// and residual WHERE conjuncts; subquery conjuncts are attached afterwards.
+func (pl *Planner) planFromJoin(stmt *SelectStmt, outer rel.Schema) (plan.Node, error) {
+	type fromEntry struct {
+		node plan.Node
+	}
+	entries := make([]fromEntry, len(stmt.From))
+	for i, ref := range stmt.From {
+		n, err := pl.planTableRef(ref, outer)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = fromEntry{node: n}
+	}
+	conjuncts := splitConjuncts(stmt.Where)
+	// Classify conjuncts.
+	var joinPreds []*BinOp
+	var residual []ExprNode
+	var subqueryConjs []ExprNode
+	fullSchema := rel.Schema{}
+	var offsets []int
+	for _, e := range entries {
+		offsets = append(offsets, len(fullSchema))
+		fullSchema = fullSchema.Concat(e.node.Schema())
+	}
+	tableIdx := func(col int) int {
+		for i := len(offsets) - 1; i >= 0; i-- {
+			if col >= offsets[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, c := range conjuncts {
+		if hasSubquery(c) {
+			subqueryConjs = append(subqueryConjs, c)
+			continue
+		}
+		if b, ok := c.(*BinOp); ok && b.Op == "=" {
+			li, lok := b.L.(*Ident)
+			ri, rok := b.R.(*Ident)
+			if lok && rok {
+				lIdx, lErr := fullSchema.Resolve(li.Qual, li.Name)
+				rIdx, rErr := fullSchema.Resolve(ri.Qual, ri.Name)
+				if lErr == nil && rErr == nil &&
+					tableIdx(lIdx) != tableIdx(rIdx) {
+					joinPreds = append(joinPreds, b)
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	// 2. Left-deep join, greedily preferring tables connected to the
+	// current tree by an equi-join predicate (avoids accidental cross
+	// joins from unfavourable FROM order, e.g. TPC-H Q7).
+	node := entries[0].node
+	used := make([]bool, len(joinPreds))
+	joined := make([]bool, len(entries))
+	joined[0] = true
+	// matchKeys collects the unused join predicates connecting the
+	// current tree to candidate right (marking them used on success).
+	matchKeys := func(rightSchema rel.Schema, commit bool) ([]int, []int) {
+		var lKeys, rKeys []int
+		for pi, jp := range joinPreds {
+			if used[pi] {
+				continue
+			}
+			li := jp.L.(*Ident)
+			ri := jp.R.(*Ident)
+			// Try left-in-tree / right-in-new and the swap.
+			if lIdx, err := node.Schema().Resolve(li.Qual, li.Name); err == nil {
+				if rIdx, err2 := rightSchema.Resolve(ri.Qual, ri.Name); err2 == nil {
+					lKeys = append(lKeys, lIdx)
+					rKeys = append(rKeys, rIdx)
+					if commit {
+						used[pi] = true
+					}
+					continue
+				}
+			}
+			if lIdx, err := node.Schema().Resolve(ri.Qual, ri.Name); err == nil {
+				if rIdx, err2 := rightSchema.Resolve(li.Qual, li.Name); err2 == nil {
+					lKeys = append(lKeys, lIdx)
+					rKeys = append(rKeys, rIdx)
+					if commit {
+						used[pi] = true
+					}
+					continue
+				}
+			}
+		}
+		return lKeys, rKeys
+	}
+	for remaining := len(entries) - 1; remaining > 0; remaining-- {
+		// Prefer a connected table; fall back to FROM order (cross join).
+		pick := -1
+		for i, e := range entries {
+			if joined[i] {
+				continue
+			}
+			if lk, _ := matchKeys(e.node.Schema(), false); len(lk) > 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			for i := range entries {
+				if !joined[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		right := entries[pick].node
+		lKeys, rKeys := matchKeys(right.Schema(), true)
+		node = plan.NewJoin(node, right, lKeys, rKeys)
+		joined[pick] = true
+	}
+	for pi, jp := range joinPreds {
+		if !used[pi] {
+			// A join predicate that did not fit the left-deep order
+			// becomes a residual filter.
+			residual = append(residual, jp)
+		}
+	}
+	// 3. Residual filters (deterministic, pre-subquery).
+	if len(residual) > 0 {
+		pred, err := pl.lowerConjuncts(residual, node.Schema(), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		node = plan.NewSelect(node, pred)
+	}
+	// 4. Subquery conjuncts (nested aggregates): each one joins the
+	// subquery's aggregate output into the tree, Figure 2(a) style.
+	for _, c := range subqueryConjs {
+		var err error
+		node, err = pl.attachSubqueryConjunct(node, c, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+// finishSelect applies aggregation, HAVING and the final projection.
+func (pl *Planner) finishSelect(stmt *SelectStmt, node plan.Node, outer rel.Schema) (plan.Node, error) {
+	inSchema := node.Schema()
+	// Expand SELECT * into one item per visible column. Columns
+	// synthesised by subquery compilation are hidden.
+	if hasStar(stmt.Items) {
+		var items []SelectItem
+		for _, item := range stmt.Items {
+			if !item.Star {
+				items = append(items, item)
+				continue
+			}
+			for _, c := range inSchema {
+				if strings.HasPrefix(c.Table, "__subq") || strings.HasPrefix(c.Name, "__") {
+					continue
+				}
+				items = append(items, SelectItem{
+					Expr:  &Ident{Qual: c.Table, Name: c.Name},
+					Alias: c.Name,
+				})
+			}
+		}
+		stmt = &SelectStmt{
+			Items: items, From: stmt.From, Where: stmt.Where,
+			GroupBy: stmt.GroupBy, Having: stmt.Having,
+			OrderBy: stmt.OrderBy, Limit: stmt.Limit,
+		}
+	}
+	needsAgg := len(stmt.GroupBy) > 0
+	for _, item := range stmt.Items {
+		if containsAggregate(item.Expr, pl.isAgg) {
+			needsAgg = true
+		}
+	}
+	if stmt.Having != nil && !needsAgg {
+		return nil, fmt.Errorf("sql: HAVING requires aggregation")
+	}
+	if !needsAgg {
+		// Plain projection.
+		exprs := make([]expr.Expr, len(stmt.Items))
+		names := make([]string, len(stmt.Items))
+		for i, item := range stmt.Items {
+			e, err := pl.lowerExpr(item.Expr, inSchema, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = e
+			names[i] = itemName(item, i)
+		}
+		return plan.NewProject(node, exprs, names), nil
+	}
+	// Group-by keys: bare columns group directly; computed expressions are
+	// pre-projected into synthetic columns (the keys must be deterministic
+	// either way, paper §3.3). Select items that syntactically match a
+	// computed group expression are mapped onto the projected column.
+	groupIdx := make([]int, len(stmt.GroupBy))
+	groupExprMap := map[string]int{} // astKey(group expr) -> group position
+	var computed []ExprNode
+	for i, g := range stmt.GroupBy {
+		if id, ok := g.(*Ident); ok {
+			idx, err := inSchema.Resolve(id.Qual, id.Name)
+			if err != nil {
+				return nil, err
+			}
+			groupIdx[i] = idx
+			continue
+		}
+		if containsAggregate(g, pl.isAgg) || hasSubquery(g) {
+			return nil, fmt.Errorf("sql: GROUP BY expression may not aggregate or nest subqueries")
+		}
+		groupIdx[i] = len(inSchema) + len(computed)
+		groupExprMap[astKey(g)] = i
+		computed = append(computed, g)
+	}
+	if len(computed) > 0 {
+		exprs := make([]expr.Expr, 0, len(inSchema)+len(computed))
+		names := make([]string, 0, len(inSchema)+len(computed))
+		for i, c := range inSchema {
+			exprs = append(exprs, expr.NewCol(i, c.QualifiedName(), c.Type))
+			names = append(names, c.Name)
+		}
+		for j, g := range computed {
+			e, err := pl.lowerExpr(g, inSchema, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			names = append(names, fmt.Sprintf("__grp%d", j))
+		}
+		proj := plan.NewProject(node, exprs, names)
+		// Keep the original qualifiers for the passthrough columns so
+		// later name resolution still works.
+		for i, c := range inSchema {
+			proj.Out[i].Table = c.Table
+		}
+		node = proj
+		inSchema = node.Schema()
+	}
+	// Collect aggregate calls from select items and HAVING.
+	aggCalls := map[string]int{} // canonical key -> spec index
+	var specs []plan.AggSpec
+	collect := func(e ExprNode) error {
+		return walkAggCalls(e, pl.isAgg, func(fc *FuncCall) error {
+			key := astKey(fc)
+			if _, ok := aggCalls[key]; ok {
+				return nil
+			}
+			fn, err := pl.aggFunc(fc)
+			if err != nil {
+				return err
+			}
+			spec := plan.AggSpec{Fn: fn, Name: fmt.Sprintf("%s_%d", strings.ToLower(fn.Name), len(specs))}
+			if fc.Star {
+				if fn.Name != "COUNT" {
+					return fmt.Errorf("sql: %s(*) is not valid", fn.Name)
+				}
+			} else {
+				if len(fc.Args) != 1 {
+					return fmt.Errorf("sql: aggregate %s takes one argument", fn.Name)
+				}
+				arg, err := pl.lowerExpr(fc.Args[0], inSchema, nil, nil)
+				if err != nil {
+					return err
+				}
+				spec.Arg = arg
+			}
+			aggCalls[key] = len(specs)
+			specs = append(specs, spec)
+			return nil
+		})
+	}
+	for _, item := range stmt.Items {
+		if err := collect(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Having != nil {
+		if err := collect(stmt.Having); err != nil {
+			return nil, err
+		}
+	}
+	if len(specs) == 0 {
+		// GROUP BY with no aggregates = DISTINCT over the group columns.
+		specs = nil
+	}
+	aggNode := plan.NewAggregate(node, groupIdx, specs)
+	var cur plan.Node = aggNode
+	// Post-aggregation lowering maps: aggregate call -> output col,
+	// group-by source col -> output col.
+	aggMap := map[string]int{}
+	for key, si := range aggCalls {
+		aggMap[key] = len(groupIdx) + si
+	}
+	groupMap := map[int]int{}
+	for outPos, srcIdx := range groupIdx {
+		groupMap[srcIdx] = outPos
+	}
+	// HAVING: may itself contain scalar subqueries (e.g. TPC-H Q11).
+	if stmt.Having != nil {
+		havingConjs := splitConjuncts(stmt.Having)
+		var plainConjs []ExprNode
+		for _, c := range havingConjs {
+			if hasSubquery(c) {
+				var err error
+				cur, err = pl.attachHavingSubquery(cur, c, aggMap, groupMap, inSchema)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				plainConjs = append(plainConjs, c)
+			}
+		}
+		if len(plainConjs) > 0 {
+			pred, err := pl.lowerConjuncts(plainConjs, cur.Schema(), aggMap, groupMap)
+			if err != nil {
+				return nil, err
+			}
+			cur = plan.NewSelect(cur, pred)
+		}
+	}
+	// Final projection over the aggregate output.
+	exprs := make([]expr.Expr, len(stmt.Items))
+	names := make([]string, len(stmt.Items))
+	for i, item := range stmt.Items {
+		if pos, ok := groupExprMap[astKey(item.Expr)]; ok {
+			// The item is (syntactically) a computed group expression:
+			// read the group key column directly.
+			c := cur.Schema()[pos]
+			exprs[i] = expr.NewCol(pos, c.Name, c.Type)
+			names[i] = itemName(item, i)
+			continue
+		}
+		e, err := pl.lowerExpr(item.Expr, cur.Schema(), aggMap, groupMap)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+		names[i] = itemName(item, i)
+	}
+	return plan.NewProject(cur, exprs, names), nil
+}
+
+func hasStar(items []SelectItem) bool {
+	for _, item := range items {
+		if item.Star {
+			return true
+		}
+	}
+	return false
+}
+
+func itemName(item SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.Expr.(*Ident); ok {
+		return id.Name
+	}
+	if fc, ok := item.Expr.(*FuncCall); ok {
+		return strings.ToLower(fc.Name)
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+// planTableRef lowers one FROM entry.
+func (pl *Planner) planTableRef(ref TableRef, outer rel.Schema) (plan.Node, error) {
+	if ref.Subquery != nil {
+		sub, _, err := pl.planSelect(ref.Subquery, outer)
+		if err != nil {
+			return nil, err
+		}
+		// Requalify the derived table's output columns with its alias.
+		proj, ok := sub.(*plan.Project)
+		if !ok {
+			exprs := make([]expr.Expr, len(sub.Schema()))
+			names := make([]string, len(sub.Schema()))
+			for i, c := range sub.Schema() {
+				exprs[i] = expr.NewCol(i, c.Name, c.Type)
+				names[i] = c.Name
+			}
+			proj = plan.NewProject(sub, exprs, names)
+		}
+		proj.Out = proj.Out.WithTable(ref.Alias)
+		return proj, nil
+	}
+	schema, ok := pl.cat.Schema(ref.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", ref.Table)
+	}
+	return plan.NewScan(strings.ToLower(ref.Table), ref.Alias, schema, pl.cat.Streamed(ref.Table)), nil
+}

@@ -1,0 +1,114 @@
+package workload
+
+// Conviva-like queries C1–C12 with the paper's mix (Section 8): simple SPJA
+// (C3, C5, C11, C12), nested subqueries and HAVING (C1, C2, C4, C6–C10),
+// UDFs (C6, C7) and UDAFs (C8, C9, C10). The nested shapes mirror the
+// TPC-H benchmark's, as the paper notes.
+func convivaQueries() []Query {
+	return []Query{
+		{
+			Name:   "C1",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// SBI grouped by CDN: how slow buffering hurts retention per CDN.
+			SQL: `SELECT cdn, AVG(play_time) AS avg_play
+			FROM conviva_sessions
+			WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva_sessions)
+			GROUP BY cdn`,
+		},
+		{
+			Name:   "C2",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// Sessions buffering above their own CDN's average (correlated).
+			SQL: `SELECT s.cdn, COUNT(*) AS slow_sessions
+			FROM conviva_sessions s
+			WHERE s.buffer_time > (SELECT AVG(buffer_time)
+				FROM conviva_sessions i WHERE i.cdn = s.cdn)
+			GROUP BY s.cdn`,
+		},
+		{
+			Name:   "C3",
+			Stream: "conviva_sessions",
+			SQL: `SELECT cdn, COUNT(*) AS sessions, AVG(bitrate) AS avg_bitrate
+			FROM conviva_sessions WHERE country = 'US' GROUP BY cdn`,
+		},
+		{
+			Name:   "C4",
+			Stream: "conviva_sessions",
+			Nested: true,
+			SQL: `SELECT city, SUM(play_time) AS total_play
+			FROM conviva_sessions
+			GROUP BY city
+			HAVING AVG(buffer_time) > (SELECT AVG(buffer_time) FROM conviva_sessions)`,
+		},
+		{
+			Name:   "C5",
+			Stream: "conviva_sessions",
+			SQL: `SELECT isp, AVG(join_time) AS avg_join
+			FROM conviva_sessions WHERE content_type = 'live' GROUP BY isp`,
+		},
+		{
+			Name:   "C6",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// UDF in an uncertainty-coupled predicate.
+			SQL: `SELECT cdn, COUNT(*) AS engaged
+			FROM conviva_sessions
+			WHERE ENGAGEMENT(play_time, buffer_time) >
+				(SELECT 0.8 * AVG(play_time) FROM conviva_sessions)
+			GROUP BY cdn`,
+		},
+		{
+			Name:   "C7",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// UDF aggregated over a nested filter.
+			SQL: `SELECT device, AVG(QUALITYSCORE(bitrate, failures)) AS quality
+			FROM conviva_sessions
+			WHERE buffer_time < (SELECT AVG(buffer_time) FROM conviva_sessions)
+			GROUP BY device`,
+		},
+		{
+			Name:   "C8",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// UDAF over the SBI filter — the query of Figure 7(a).
+			SQL: `SELECT GEOMEAN(play_time) AS g_play
+			FROM conviva_sessions
+			WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva_sessions)`,
+		},
+		{
+			Name:   "C9",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// UDAF with a HAVING threshold from a global subquery.
+			SQL: `SELECT cdn, HARMONIC(bitrate) AS h_bitrate
+			FROM conviva_sessions
+			GROUP BY cdn
+			HAVING COUNT(*) > (SELECT 0.05 * COUNT(*) FROM conviva_sessions)`,
+		},
+		{
+			Name:   "C10",
+			Stream: "conviva_sessions",
+			Nested: true,
+			// UDAF over failure-heavy sessions (nested threshold).
+			SQL: `SELECT country, RMS(join_time) AS rms_join
+			FROM conviva_sessions
+			WHERE failures > (SELECT AVG(failures) FROM conviva_sessions)
+			GROUP BY country`,
+		},
+		{
+			Name:   "C11",
+			Stream: "conviva_sessions",
+			SQL: `SELECT country, SUM(play_time) AS total_play, COUNT(*) AS sessions
+			FROM conviva_sessions WHERE bitrate > 2000 GROUP BY country`,
+		},
+		{
+			Name:   "C12",
+			Stream: "conviva_sessions",
+			SQL: `SELECT COUNT(*) AS n, AVG(play_time) AS avg_play, STDDEV(buffer_time) AS sd_buffer
+			FROM conviva_sessions WHERE device = 'mobile'`,
+		},
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"iolap/internal/rel"
+)
+
+// These tests validate the synthetic generators as data: referential
+// integrity between fact and dimension tables, and value-domain invariants
+// the benchmark queries rely on.
+
+func keySet(r *rel.Relation, col string) map[int64]bool {
+	idx := r.Schema.MustResolve("", col)
+	out := make(map[int64]bool, r.Len())
+	for _, tp := range r.Tuples {
+		out[tp.Vals[idx].Int()] = true
+	}
+	return out
+}
+
+func TestTPCHReferentialIntegrity(t *testing.T) {
+	w := TPCH(TPCHScale{Fact: 2000, Seed: 9})
+	parts := keySet(w.Tables["part"], "p_partkey")
+	supps := keySet(w.Tables["supplier"], "s_suppkey")
+	custs := keySet(w.Tables["customer"], "c_custkey")
+	nations := keySet(w.Tables["nation"], "n_nationkey")
+	regions := keySet(w.Tables["region"], "r_regionkey")
+
+	lo := w.Tables["lineorder"]
+	check := func(col string, valid map[int64]bool) {
+		t.Helper()
+		idx := lo.Schema.MustResolve("", col)
+		for _, tp := range lo.Tuples {
+			if !valid[tp.Vals[idx].Int()] {
+				t.Fatalf("dangling %s = %v", col, tp.Vals[idx])
+			}
+		}
+	}
+	check("l_partkey", parts)
+	check("l_suppkey", supps)
+	check("o_custkey", custs)
+
+	ps := w.Tables["partsupp"]
+	psPart := ps.Schema.MustResolve("", "ps_partkey")
+	psSupp := ps.Schema.MustResolve("", "ps_suppkey")
+	for _, tp := range ps.Tuples {
+		if !parts[tp.Vals[psPart].Int()] || !supps[tp.Vals[psSupp].Int()] {
+			t.Fatal("dangling partsupp key")
+		}
+	}
+	// Suppliers and customers reference valid nations, nations valid
+	// regions.
+	for _, spec := range []struct {
+		table, col string
+		valid      map[int64]bool
+	}{
+		{"supplier", "s_nationkey", nations},
+		{"customer", "c_nationkey", nations},
+		{"nation", "n_regionkey", regions},
+	} {
+		r := w.Tables[spec.table]
+		idx := r.Schema.MustResolve("", spec.col)
+		for _, tp := range r.Tuples {
+			if !spec.valid[tp.Vals[idx].Int()] {
+				t.Fatalf("dangling %s.%s = %v", spec.table, spec.col, tp.Vals[idx])
+			}
+		}
+	}
+}
+
+func TestTPCHValueDomains(t *testing.T) {
+	w := TPCH(TPCHScale{Fact: 2000, Seed: 9})
+	lo := w.Tables["lineorder"]
+	qty := lo.Schema.MustResolve("", "l_quantity")
+	disc := lo.Schema.MustResolve("", "l_discount")
+	ship := lo.Schema.MustResolve("", "l_shipdate")
+	odate := lo.Schema.MustResolve("", "o_orderdate")
+	price := lo.Schema.MustResolve("", "l_extendedprice")
+	for _, tp := range lo.Tuples {
+		if q := tp.Vals[qty].Float(); q < 1 || q > 50 {
+			t.Fatalf("l_quantity out of domain: %v", q)
+		}
+		if d := tp.Vals[disc].Float(); d < 0 || d > 0.1 {
+			t.Fatalf("l_discount out of domain: %v", d)
+		}
+		if tp.Vals[price].Float() <= 0 {
+			t.Fatal("non-positive extended price")
+		}
+		// Ship date follows the order date (1..120 days later).
+		s, o := tp.Vals[ship].Int(), tp.Vals[odate].Int()
+		if s <= o || s > o+120 {
+			t.Fatalf("shipdate %d not within (orderdate, orderdate+120] = (%d, %d]", s, o, o+120)
+		}
+	}
+	// The nations named by query predicates must have suppliers (the
+	// seeded coverage that keeps Q5/Q7/Q11/Q20 non-empty at small scale).
+	sup := w.Tables["supplier"]
+	nk := sup.Schema.MustResolve("", "s_nationkey")
+	seen := map[int64]bool{}
+	for _, tp := range sup.Tuples {
+		seen[tp.Vals[nk].Int()] = true
+	}
+	for _, nation := range []int64{0, 1, 11} { // FRANCE, GERMANY, CANADA
+		if !seen[nation] {
+			t.Errorf("no supplier in predicate nation %d", nation)
+		}
+	}
+}
+
+func TestConvivaValueDomains(t *testing.T) {
+	w := Conviva(ConvivaScale{Sessions: 2000, Seed: 9})
+	r := w.Tables["conviva_sessions"]
+	bt := r.Schema.MustResolve("", "buffer_time")
+	pt := r.Schema.MustResolve("", "play_time")
+	br := r.Schema.MustResolve("", "bitrate")
+	fl := r.Schema.MustResolve("", "failures")
+	sid := r.Schema.MustResolve("", "session_id")
+	ids := map[string]bool{}
+	for _, tp := range r.Tuples {
+		if tp.Vals[bt].Float() < 0 {
+			t.Fatal("negative buffer time")
+		}
+		if v := tp.Vals[pt].Float(); v < 5 {
+			t.Fatalf("play_time below floor: %v", v)
+		}
+		if v := tp.Vals[br].Float(); v < 800 || v > 5000 {
+			t.Fatalf("bitrate out of domain: %v", v)
+		}
+		if v := tp.Vals[fl].Int(); v < 0 || v > 4 {
+			t.Fatalf("failures out of domain: %v", v)
+		}
+		id := tp.Vals[sid].Str()
+		if !strings.HasPrefix(id, "sess-") || ids[id] {
+			t.Fatalf("session id invalid or duplicate: %q", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestGeneratorsEmitShuffledData(t *testing.T) {
+	// Section 2 assumes block-wise randomness; the generators pre-shuffle
+	// so contiguous batches are random samples. Check the fact tables are
+	// not sorted by their primary sequence.
+	w := TPCH(TPCHScale{Fact: 1000, Seed: 3})
+	lo := w.Tables["lineorder"]
+	ok := lo.Schema.MustResolve("", "l_orderkey")
+	sorted := true
+	for i := 1; i < lo.Len(); i++ {
+		if lo.Tuples[i].Vals[ok].Int() < lo.Tuples[i-1].Vals[ok].Int() {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Error("lineorder appears sorted: shuffle missing")
+	}
+	c := Conviva(ConvivaScale{Sessions: 1000, Seed: 3})
+	cs := c.Tables["conviva_sessions"]
+	sid := cs.Schema.MustResolve("", "session_id")
+	sorted = true
+	for i := 1; i < cs.Len(); i++ {
+		if cs.Tuples[i].Vals[sid].Str() < cs.Tuples[i-1].Vals[sid].Str() {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Error("conviva sessions appear sorted: shuffle missing")
+	}
+}

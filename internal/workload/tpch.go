@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iolap/internal/agg"
+	"iolap/internal/expr"
+	"iolap/internal/rel"
+)
+
+// TPC-H-like generator. The schema follows the paper's setup (Section 8):
+// lineitem and orders are pre-joined into a denormalised lineorder fact
+// table (SSB style); part, supplier, customer, partsupp, nation and region
+// are kept as dimension tables.
+
+// TPCHScale sizes the synthetic dataset. Fact is the lineorder row count;
+// dimension cardinalities derive from it with TPC-H-like ratios.
+type TPCHScale struct {
+	Fact int
+	Seed int64
+}
+
+// Dimension cardinalities for a given fact size.
+func (s TPCHScale) parts() int     { return maxi(20, s.Fact/25) }
+func (s TPCHScale) suppliers() int { return maxi(10, s.Fact/80) }
+func (s TPCHScale) customers() int { return maxi(20, s.Fact/20) }
+
+// pickNation skews assignments toward the nations the benchmark predicates
+// name — FRANCE/GERMANY (Q7), ASIA (Q5), CANADA (Q20) — so the queries stay
+// selective but non-empty at laptop scale.
+func pickNation(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.15:
+		return 0 // FRANCE
+	case r < 0.30:
+		return 1 // GERMANY
+	case r < 0.55:
+		return 5 + rng.Intn(5) // ASIA block
+	case r < 0.65:
+		return 11 // CANADA
+	default:
+		return rng.Intn(len(tpchNations))
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var (
+	tpchNations = []struct {
+		name   string
+		region int
+	}{
+		{"FRANCE", 0}, {"GERMANY", 0}, {"ROMANIA", 0}, {"RUSSIA", 0}, {"UNITED KINGDOM", 0},
+		{"CHINA", 1}, {"INDIA", 1}, {"INDONESIA", 1}, {"JAPAN", 1}, {"VIETNAM", 1},
+		{"UNITED STATES", 2}, {"CANADA", 2}, {"BRAZIL", 2}, {"ARGENTINA", 2}, {"PERU", 2},
+		{"EGYPT", 3}, {"IRAN", 3}, {"IRAQ", 3}, {"JORDAN", 3}, {"SAUDI ARABIA", 3},
+		{"ALGERIA", 4}, {"ETHIOPIA", 4}, {"KENYA", 4}, {"MOROCCO", 4}, {"MOZAMBIQUE", 4},
+	}
+	tpchRegions    = []string{"EUROPE", "ASIA", "AMERICA", "MIDDLE EAST", "AFRICA"}
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchBrands     = []string{"Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45"}
+	tpchContainers = []string{"SM CASE", "MED BOX", "LG BOX", "JUMBO PKG"}
+	tpchTypes      = []string{"ECONOMY ANODIZED STEEL", "STANDARD BRUSHED COPPER", "PROMO BURNISHED NICKEL", "SMALL PLATED BRASS"}
+	tpchNames      = []string{"forest linen", "forest chocolate", "lemon ivory", "midnight rose", "powder almond", "slate navy"}
+	tpchPriority   = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	tpchModes      = []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"}
+	tpchFlags      = []string{"A", "N", "R"}
+	tpchStatus     = []string{"O", "F"}
+)
+
+// LineorderSchema is the denormalised fact schema (lineitem ⋈ orders).
+func LineorderSchema() rel.Schema {
+	return rel.Schema{
+		{Name: "l_orderkey", Type: rel.KInt},
+		{Name: "l_partkey", Type: rel.KInt},
+		{Name: "l_suppkey", Type: rel.KInt},
+		{Name: "l_quantity", Type: rel.KFloat},
+		{Name: "l_extendedprice", Type: rel.KFloat},
+		{Name: "l_discount", Type: rel.KFloat},
+		{Name: "l_tax", Type: rel.KFloat},
+		{Name: "l_returnflag", Type: rel.KString},
+		{Name: "l_linestatus", Type: rel.KString},
+		{Name: "l_shipdate", Type: rel.KInt},
+		{Name: "l_shipmode", Type: rel.KString},
+		// Denormalised order columns.
+		{Name: "o_custkey", Type: rel.KInt},
+		{Name: "o_orderdate", Type: rel.KInt},
+		{Name: "o_orderpriority", Type: rel.KString},
+		{Name: "o_shippriority", Type: rel.KInt},
+	}
+}
+
+// TPCH generates the workload at the given scale.
+func TPCH(scale TPCHScale) *Workload {
+	if scale.Fact <= 0 {
+		scale.Fact = 2000
+	}
+	rng := rand.New(rand.NewSource(scale.Seed + 7001))
+	w := &Workload{
+		Name:    "tpch",
+		Tables:  make(map[string]*rel.Relation),
+		Funcs:   expr.NewRegistry(),
+		Aggs:    agg.NewRegistry(),
+		Queries: tpchQueries(),
+	}
+	// region / nation
+	region := rel.NewRelation(rel.Schema{
+		{Name: "r_regionkey", Type: rel.KInt},
+		{Name: "r_name", Type: rel.KString},
+	})
+	for i, name := range tpchRegions {
+		region.Append(rel.Int(int64(i)), rel.String(name))
+	}
+	w.Tables["region"] = region
+
+	nation := rel.NewRelation(rel.Schema{
+		{Name: "n_nationkey", Type: rel.KInt},
+		{Name: "n_name", Type: rel.KString},
+		{Name: "n_regionkey", Type: rel.KInt},
+	})
+	for i, n := range tpchNations {
+		nation.Append(rel.Int(int64(i)), rel.String(n.name), rel.Int(int64(n.region)))
+	}
+	w.Tables["nation"] = nation
+
+	// part
+	nParts := scale.parts()
+	part := rel.NewRelation(rel.Schema{
+		{Name: "p_partkey", Type: rel.KInt},
+		{Name: "p_name", Type: rel.KString},
+		{Name: "p_brand", Type: rel.KString},
+		{Name: "p_type", Type: rel.KString},
+		{Name: "p_size", Type: rel.KInt},
+		{Name: "p_container", Type: rel.KString},
+		{Name: "p_retailprice", Type: rel.KFloat},
+	})
+	for i := 0; i < nParts; i++ {
+		part.Append(
+			rel.Int(int64(i)),
+			rel.String(tpchNames[rng.Intn(len(tpchNames))]+" "+fmt.Sprint(i)),
+			rel.String(tpchBrands[rng.Intn(len(tpchBrands))]),
+			rel.String(tpchTypes[rng.Intn(len(tpchTypes))]),
+			rel.Int(int64(1+rng.Intn(50))),
+			rel.String(tpchContainers[rng.Intn(len(tpchContainers))]),
+			rel.Float(round1(900+rng.Float64()*1100)),
+		)
+	}
+	w.Tables["part"] = part
+
+	// supplier: the first suppliers cover the nations the query predicates
+	// name (FRANCE=0, GERMANY=1, CANADA=11, ASIA=5..9) so small scales
+	// still produce rows; the rest follow the skewed distribution.
+	nSupp := scale.suppliers()
+	seedNations := []int{0, 1, 11, 5, 6, 7, 10, 1, 0, 11}
+	supplier := rel.NewRelation(rel.Schema{
+		{Name: "s_suppkey", Type: rel.KInt},
+		{Name: "s_name", Type: rel.KString},
+		{Name: "s_nationkey", Type: rel.KInt},
+		{Name: "s_acctbal", Type: rel.KFloat},
+	})
+	for i := 0; i < nSupp; i++ {
+		nk := pickNation(rng)
+		if i < len(seedNations) {
+			nk = seedNations[i]
+		}
+		supplier.Append(
+			rel.Int(int64(i)),
+			rel.String(fmt.Sprintf("Supplier#%03d", i)),
+			rel.Int(int64(nk)),
+			rel.Float(round1(-999+rng.Float64()*11000)),
+		)
+	}
+	w.Tables["supplier"] = supplier
+
+	// customer (streamed by Q22)
+	nCust := scale.customers()
+	customer := rel.NewRelation(rel.Schema{
+		{Name: "c_custkey", Type: rel.KInt},
+		{Name: "c_name", Type: rel.KString},
+		{Name: "c_nationkey", Type: rel.KInt},
+		{Name: "c_acctbal", Type: rel.KFloat},
+		{Name: "c_mktsegment", Type: rel.KString},
+		{Name: "c_phone", Type: rel.KString},
+	})
+	for i := 0; i < nCust; i++ {
+		nk := pickNation(rng)
+		customer.Append(
+			rel.Int(int64(i)),
+			rel.String(fmt.Sprintf("Customer#%05d", i)),
+			rel.Int(int64(nk)),
+			rel.Float(round1(-999+rng.Float64()*11000)),
+			rel.String(tpchSegments[rng.Intn(len(tpchSegments))]),
+			rel.String(fmt.Sprintf("%02d-%03d-%03d", 10+nk, rng.Intn(1000), rng.Intn(1000))),
+		)
+	}
+	shuffleRel(customer, rng)
+	w.Tables["customer"] = customer
+
+	// partsupp (streamed by Q11)
+	partsupp := rel.NewRelation(rel.Schema{
+		{Name: "ps_partkey", Type: rel.KInt},
+		{Name: "ps_suppkey", Type: rel.KInt},
+		{Name: "ps_availqty", Type: rel.KInt},
+		{Name: "ps_supplycost", Type: rel.KFloat},
+	})
+	for p := 0; p < nParts; p++ {
+		for k := 0; k < 2; k++ {
+			partsupp.Append(
+				rel.Int(int64(p)),
+				rel.Int(int64(rng.Intn(nSupp))),
+				rel.Int(int64(1+rng.Intn(9999))),
+				rel.Float(round1(1+rng.Float64()*1000)),
+			)
+		}
+	}
+	shuffleRel(partsupp, rng)
+	w.Tables["partsupp"] = partsupp
+
+	// lineorder: generate per order until the fact size is reached, then
+	// shuffle.
+	lineorder := rel.NewRelation(LineorderSchema())
+	for o := 0; lineorder.Len() < scale.Fact; o++ {
+		orderDate := 1 + rng.Intn(2520) // ~7 years of day indexes
+		custkey := rng.Intn(nCust)
+		prio := tpchPriority[rng.Intn(len(tpchPriority))]
+		shipPrio := 0
+		lines := 1 + rng.Intn(7)
+		for l := 0; l < lines && lineorder.Len() < scale.Fact; l++ {
+			qty := float64(1 + rng.Intn(50))
+			price := round1(qty * (900 + rng.Float64()*1100) / 10)
+			lineorder.Append(
+				rel.Int(int64(o)),
+				rel.Int(int64(rng.Intn(nParts))),
+				rel.Int(int64(rng.Intn(nSupp))),
+				rel.Float(qty),
+				rel.Float(price),
+				rel.Float(round1(rng.Float64()*0.1*100)/100),
+				rel.Float(round1(rng.Float64()*0.08*100)/100),
+				rel.String(tpchFlags[rng.Intn(len(tpchFlags))]),
+				rel.String(tpchStatus[rng.Intn(len(tpchStatus))]),
+				rel.Int(int64(orderDate+1+rng.Intn(120))),
+				rel.String(tpchModes[rng.Intn(len(tpchModes))]),
+				rel.Int(int64(custkey)),
+				rel.Int(int64(orderDate)),
+				rel.String(prio),
+				rel.Int(int64(shipPrio)),
+			)
+		}
+	}
+	shuffleRel(lineorder, rng)
+	w.Tables["lineorder"] = lineorder
+	return w
+}

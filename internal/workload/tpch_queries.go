@@ -1,0 +1,131 @@
+package workload
+
+// The paper's TPC-H selection (Section 8): every query with a nested
+// subquery structure (Q11, Q17, Q18, Q20, Q22) plus a representative flat
+// SPJA subset (Q1, Q3, Q5, Q6, Q7). Adapted to the denormalised lineorder
+// schema; ORDER BY / LIMIT are presentation-only and omitted where the
+// original has them on large outputs; Q22's NOT EXISTS anti-join is dropped
+// (set difference is outside the positive algebra the paper supports,
+// Section 3.3). Dates are day indexes (1..2520 ≈ 7 years).
+func tpchQueries() []Query {
+	return []Query{
+		{
+			Name:   "Q1",
+			Stream: "lineorder",
+			SQL: `SELECT l_returnflag, l_linestatus,
+				SUM(l_quantity) AS sum_qty,
+				SUM(l_extendedprice) AS sum_base_price,
+				SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+				SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+				AVG(l_quantity) AS avg_qty,
+				AVG(l_extendedprice) AS avg_price,
+				AVG(l_discount) AS avg_disc,
+				COUNT(*) AS count_order
+			FROM lineorder
+			WHERE l_shipdate <= 2400
+			GROUP BY l_returnflag, l_linestatus`,
+		},
+		{
+			Name:   "Q3",
+			Stream: "lineorder",
+			SQL: `SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+				o_orderdate, o_shippriority
+			FROM customer, lineorder
+			WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+				AND o_orderdate < 1800 AND l_shipdate > 1800
+			GROUP BY l_orderkey, o_orderdate, o_shippriority`,
+		},
+		{
+			Name:   "Q5",
+			Stream: "lineorder",
+			SQL: `SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM customer, supplier, nation, region, lineorder
+			WHERE c_custkey = o_custkey AND l_suppkey = s_suppkey
+				AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey
+				AND n_regionkey = r_regionkey AND r_name = 'ASIA'
+				AND o_orderdate >= 360 AND o_orderdate < 2160
+			GROUP BY n_name`,
+		},
+		{
+			Name:   "Q6",
+			Stream: "lineorder",
+			SQL: `SELECT SUM(l_extendedprice * l_discount) AS revenue
+			FROM lineorder
+			WHERE l_shipdate >= 360 AND l_shipdate < 720
+				AND l_discount BETWEEN 0.02 AND 0.09 AND l_quantity < 24`,
+		},
+		{
+			Name:   "Q7",
+			Stream: "lineorder",
+			SQL: `SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+				SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM supplier, customer, nation n1, nation n2, lineorder
+			WHERE s_suppkey = l_suppkey AND c_custkey = o_custkey
+				AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+				AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+					OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+			GROUP BY n1.n_name, n2.n_name`,
+		},
+		{
+			Name:   "Q11",
+			Stream: "partsupp",
+			Nested: true,
+			SQL: `SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+			FROM partsupp, supplier, nation
+			WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+				AND n_name = 'GERMANY'
+			GROUP BY ps_partkey
+			HAVING SUM(ps_supplycost * ps_availqty) >
+				(SELECT SUM(ps_supplycost * ps_availqty) * 0.05
+				 FROM partsupp, supplier, nation
+				 WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+					AND n_name = 'GERMANY')`,
+		},
+		{
+			Name:   "Q17",
+			Stream: "lineorder",
+			Nested: true,
+			SQL: `SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
+			FROM lineorder, part
+			WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+				AND p_container = 'MED BOX'
+				AND l_quantity < (SELECT 0.9 * AVG(l_quantity)
+					FROM lineorder WHERE l_partkey = p_partkey)`,
+		},
+		{
+			Name:   "Q18",
+			Stream: "lineorder",
+			Nested: true,
+			SQL: `SELECT o_custkey, l_orderkey, SUM(l_quantity) AS total_qty
+			FROM lineorder
+			WHERE l_orderkey IN (SELECT l_orderkey FROM lineorder
+				GROUP BY l_orderkey HAVING SUM(l_quantity) > 180)
+			GROUP BY o_custkey, l_orderkey`,
+		},
+		{
+			Name:   "Q20",
+			Stream: "lineorder",
+			Nested: true,
+			SQL: `SELECT s_name FROM supplier, nation
+			WHERE s_suppkey IN
+				(SELECT ps_suppkey FROM partsupp
+				 WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE 'forest%')
+				   AND ps_availqty > (SELECT 0.5 * SUM(l_quantity)
+						FROM lineorder
+						WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey))
+				AND s_nationkey = n_nationkey AND n_name = 'CANADA'`,
+		},
+		{
+			Name:   "Q22",
+			Stream: "customer",
+			Nested: true,
+			SQL: `SELECT cntrycode, COUNT(*) AS numcust, SUM(acctbal) AS totacctbal
+			FROM (SELECT SUBSTR(c_phone, 1, 2) AS cntrycode, c_acctbal AS acctbal
+				  FROM customer
+				  WHERE SUBSTR(c_phone, 1, 2) IN ('13', '31', '23', '29', '30')
+					AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer
+									 WHERE c_acctbal > 0.0)) AS custsale
+			GROUP BY cntrycode`,
+		},
+	}
+}
