@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The equivalence suites force every partition-parallel path; -race proves
+# the shard-ownership claims of DESIGN.md §7 hold under the race detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+check: build vet test race

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"iolap/internal/core"
+	"iolap/internal/exec"
 	"iolap/internal/harness"
 	"iolap/internal/workload"
 )
@@ -171,6 +172,68 @@ func BenchmarkBootstrapOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Partition-parallel scaling
+
+// BenchmarkParallelJoinAggregate measures the partition-parallel delta
+// pipeline on a large-batch join+aggregate (TPC-H Q3: customer ⋈ lineorder,
+// grouped) at increasing worker counts. Results are bit-identical at every
+// worker count — the equivalence suites in internal/core and internal/exec
+// enforce it — so this bench isolates the scheduling win: on a multi-core
+// machine 8 workers should beat 1 by ≥2×; on a single-CPU host they tie.
+func BenchmarkParallelJoinAggregate(b *testing.B) {
+	w := workload.TPCH(workload.TPCHScale{Fact: 40000, Seed: 7})
+	q, ok := w.Query("Q3")
+	if !ok {
+		b.Fatal("query Q3 missing")
+	}
+	node, _, err := w.Plan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := w.DB()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(node, db, core.Options{
+					Batches: 5, Trials: 50, Seed: 17, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExactBaseline measures the exact one-shot executor
+// (exec.RunWorkers) on the same join+aggregate plan — the sharded hash join
+// and group-sharded aggregation without any delta machinery.
+func BenchmarkParallelExactBaseline(b *testing.B) {
+	w := workload.TPCH(workload.TPCHScale{Fact: 60000, Seed: 7})
+	q, ok := w.Query("Q3")
+	if !ok {
+		b.Fatal("query Q3 missing")
+	}
+	node, _, err := w.Plan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := w.DB()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.RunWorkers(node, db, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -44,6 +44,7 @@ func main() {
 		showStats    = flag.Bool("stats", false, "print per-operator statistics after each batch")
 		interactive  = flag.Bool("i", false, "interactive mode: read queries from stdin")
 		maxRows      = flag.Int("maxrows", 10, "result rows to display per update")
+		workers      = flag.Int("workers", 0, "partition-parallel workers (0 = GOMAXPROCS; results identical at any count)")
 	)
 	flag.Parse()
 	if *interactive {
@@ -55,6 +56,7 @@ func main() {
 		opts := &iolap.Options{
 			Batches: *batches, Trials: *trials, Slack: *slack,
 			Seed: *seed, Stream: *stream, StratifyBy: *stratify,
+			Workers: *workers,
 		}
 		if err := repl(session, opts, os.Stdin, os.Stdout, *maxRows); err != nil {
 			fmt.Fprintln(os.Stderr, "iolap:", err)
@@ -63,7 +65,7 @@ func main() {
 		return
 	}
 	if err := run(*workloadName, *scale, *queryName, *sqlText, *stream, *batches,
-		*trials, *slack, *seed, *mode, *csvSpec, *iolSpec, *stratify, *showPlan, *showStats, *maxRows); err != nil {
+		*trials, *slack, *seed, *mode, *csvSpec, *iolSpec, *stratify, *showPlan, *showStats, *maxRows, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "iolap:", err)
 		os.Exit(1)
 	}
@@ -156,7 +158,7 @@ func repl(session *iolap.Session, opts *iolap.Options, in io.Reader, out io.Writ
 
 func run(workloadName string, scale int, queryName, sqlText, stream string,
 	batches, trials int, slack float64, seed uint64, modeName, csvSpec, iolSpec, stratify string,
-	showPlan, showStats bool, maxRows int) error {
+	showPlan, showStats bool, maxRows, workers int) error {
 	var session *iolap.Session
 	var queries []iolap.BenchQuery
 	switch {
@@ -215,6 +217,7 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 	cur, err := session.Query(query, &iolap.Options{
 		Mode: mode, Batches: batches, Trials: trials, Slack: slack,
 		Seed: seed, Stream: stream, StratifyBy: stratify,
+		Workers: workers,
 	})
 	if err != nil {
 		return err

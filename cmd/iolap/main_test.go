@@ -97,17 +97,17 @@ func TestLoadCSVErrors(t *testing.T) {
 
 func TestRunWorkloadQuery(t *testing.T) {
 	// Smoke test: the CLI path end to end on a tiny built-in workload.
-	err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3)
+	err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, "", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3); err == nil {
+	if err := run("", 0, "", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0); err == nil {
 		t.Error("missing workload/csv must fail")
 	}
-	if err := run("conviva", 200, "NOPE", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3); err == nil {
+	if err := run("conviva", 200, "NOPE", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0); err == nil {
 		t.Error("unknown query must fail")
 	}
-	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "badmode", "", "", "", false, false, 3); err == nil {
+	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "badmode", "", "", "", false, false, 3, 0); err == nil {
 		t.Error("unknown mode must fail")
 	}
 }

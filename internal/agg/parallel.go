@@ -1,0 +1,73 @@
+package agg
+
+// Sample is one input row bound for a Vector, in the normal form shared by
+// Add and AddRep: Reps==nil means every replicate folds Val (a certain
+// argument); otherwise Reps[b] is the b-th replicate input (an uncertain
+// argument whose per-trial values differ).
+type Sample struct {
+	Val  float64
+	Reps []float64
+	Mult float64
+	W    []float64
+}
+
+// addSample folds one sample into one replicate accumulator with exactly the
+// arithmetic of Vector.Add / Vector.AddRep.
+func addSample(acc Accumulator, s *Sample, b int) {
+	w := s.Mult
+	if s.W != nil {
+		w *= s.W[b]
+	}
+	x := s.Val
+	if s.Reps != nil && b < len(s.Reps) {
+		x = s.Reps[b]
+	}
+	acc.Add(x, w)
+}
+
+// Fold folds samples sequentially in order — the single-worker form of
+// FoldPar, equivalent to calling Add/AddRep per sample.
+func (v *Vector) Fold(samples []Sample) {
+	for i := range samples {
+		s := &samples[i]
+		v.Main.Add(s.Val, s.Mult)
+		for b, acc := range v.Reps {
+			addSample(acc, s, b)
+		}
+	}
+}
+
+// FoldPar folds samples with the replicate dimension split across workers:
+// pmap (typically cluster.Pool.Map) runs the given tasks concurrently, and
+// each of the parts workers owns a contiguous range of replicate
+// accumulators (one extra task owns Main). Every accumulator receives
+// exactly the sequence of Adds the sequential Fold gives it — only which
+// goroutine performs them changes — so the result is bit-identical. This is
+// the O(rows × trials) bootstrap arithmetic's parallel axis of choice when
+// the batch touches few groups (a global aggregate being the extreme case),
+// where sharding groups across workers would leave most of the pool idle.
+func (v *Vector) FoldPar(samples []Sample, pmap func(n int, fn func(i int)), parts int) {
+	B := len(v.Reps)
+	if parts > B {
+		parts = B
+	}
+	if parts <= 1 || pmap == nil {
+		v.Fold(samples)
+		return
+	}
+	pmap(parts+1, func(p int) {
+		if p == parts {
+			for i := range samples {
+				v.Main.Add(samples[i].Val, samples[i].Mult)
+			}
+			return
+		}
+		lo, hi := p*B/parts, (p+1)*B/parts
+		for i := range samples {
+			s := &samples[i]
+			for b := lo; b < hi; b++ {
+				addSample(v.Reps[b], s, b)
+			}
+		}
+	})
+}

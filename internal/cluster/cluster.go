@@ -70,6 +70,37 @@ func (p *Pool) Map(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Chunks returns the number of contiguous chunks MapChunks would use for n
+// items: min(workers, n). It depends only on (n, workers), never on
+// scheduling, so callers can pre-allocate per-chunk outputs.
+func (p *Pool) Chunks(n int) int {
+	c := p.workers
+	if c > n {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// MapChunks splits [0, n) into Chunks(n) contiguous index ranges of
+// near-equal size and runs fn(chunk, lo, hi) for each on the pool. Because
+// the chunk boundaries are a pure function of (n, workers), a caller that
+// writes each chunk's results into its own slot and concatenates the slots
+// in chunk order obtains output bit-identical to the sequential loop — the
+// deterministic shard → ordered merge discipline every parallel operator in
+// this repository follows.
+func (p *Pool) MapChunks(n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	c := p.Chunks(n)
+	p.Map(c, func(i int) {
+		fn(i, i*n/c, (i+1)*n/c)
+	})
+}
+
 // Partition splits a relation into p partitions round-robin (block-wise
 // assignment is what the paper's default block randomness gives; callers
 // that need value-hash partitioning use PartitionByKey).

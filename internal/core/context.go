@@ -178,6 +178,29 @@ type batchContext struct {
 	pool       *cluster.Pool
 }
 
+// parThreshold is the row-count floor below which operators stay sequential:
+// fanning a handful of rows across goroutines costs more than it saves. A
+// package variable (not a const) so the equivalence tests can force the
+// parallel paths onto small fixtures.
+var parThreshold = 512
+
+// fanout reports whether a site processing n rows should use the worker
+// pool. Every parallel path it gates is bit-identical to its sequential
+// fallback (deterministic shard → ordered merge), so the answer affects only
+// scheduling, never results.
+func (bc *batchContext) fanout(n int) bool {
+	return bc.pool != nil && bc.pool.Workers() > 1 && n >= parThreshold
+}
+
+// par returns the pool when a site with n rows should fan out, nil otherwise
+// (for callees that take an optional pool, like delta.HashStore.AddBatch).
+func (bc *batchContext) par(n int) *cluster.Pool {
+	if bc.fanout(n) {
+		return bc.pool
+	}
+	return nil
+}
+
 // failure records one variation-range integrity violation (Section 5.1).
 type failure struct {
 	op        int

@@ -39,6 +39,10 @@ type Update struct {
 	// Recoveries counts failure-recovery events triggered this batch
 	// (variation-range integrity violations, Section 5.1).
 	Recoveries int
+	// RecoveredFrom is the batch label whose snapshot the last recovery of
+	// this step restored before replaying the merged delta (0 = pristine
+	// state, i.e. recovery from scratch); -1 when no recovery happened.
+	RecoveredFrom int
 }
 
 // MaxRelStdev returns the worst relative standard deviation across all
@@ -141,7 +145,10 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 			lo := i * n / p
 			hi := (i + 1) * n / p
 			d := rel.NewRelation(src.Schema)
-			d.Tuples = src.Tuples[lo:hi]
+			// Full slice expression: capacity is clamped to the batch, so an
+			// append through this delta can never scribble over the first
+			// rows of the next batch in the shared backing array.
+			d.Tuples = src.Tuples[lo:hi:hi]
 			deltas[i] = d
 		}
 	}
@@ -257,6 +264,7 @@ func (e *Engine) Step() (*Update, error) {
 		return nil, err
 	}
 	recoveries := 0
+	recoveredFrom := -1
 	for attempt := 0; len(bc.failures) > 0; attempt++ {
 		if attempt >= 4 {
 			return nil, fmt.Errorf("core: failure recovery did not converge at batch %d", e.batch)
@@ -301,6 +309,7 @@ func (e *Engine) Step() (*Update, error) {
 			}
 		}
 		e.snaps = keep
+		recoveredFrom = j
 		merged := e.mergeDeltas(j, e.batch)
 		e.seenRows += merged.Len()
 		bc = e.newBatchContext(merged, e.seenRows)
@@ -311,16 +320,17 @@ func (e *Engine) Step() (*Update, error) {
 	e.lastBC = bc
 	result, ests := e.comp.sink.materialize(bc)
 	u := &Update{
-		Batch:        e.batch,
-		Batches:      len(e.deltas),
-		Fraction:     float64(e.seenRows) / float64(max(1, e.totalRows)),
-		Result:       result,
-		Estimates:    ests,
-		Duration:     time.Since(start),
-		Recomputed:   bc.recomputed,
-		NDSetRows:    e.ndSetRows(),
-		ShuffleBytes: e.metrics.ShuffleBytes() - shuffleBefore,
-		Recoveries:   recoveries,
+		Batch:         e.batch,
+		Batches:       len(e.deltas),
+		Fraction:      float64(e.seenRows) / float64(max(1, e.totalRows)),
+		Result:        result,
+		Estimates:     ests,
+		Duration:      time.Since(start),
+		Recomputed:    bc.recomputed,
+		NDSetRows:     e.ndSetRows(),
+		ShuffleBytes:  e.metrics.ShuffleBytes() - shuffleBefore,
+		Recoveries:    recoveries,
+		RecoveredFrom: recoveredFrom,
 	}
 	for _, op := range e.comp.ops {
 		if op.kind() == "join" {
@@ -417,7 +427,7 @@ func stratifyBatches(src *rel.Relation, idx, p int) []*rel.Relation {
 			rows := strata[k]
 			lo := i * len(rows) / p
 			hi := (i + 1) * len(rows) / p
-			d.Tuples = append(d.Tuples, rows[lo:hi]...)
+			d.Tuples = append(d.Tuples, rows[lo:hi:hi]...)
 		}
 		deltas[i] = d
 	}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/exec"
+	"iolap/internal/rel"
+)
+
+// The partition-parallel delta pipeline promises bit-identical results at any
+// worker count: every parallel site is a deterministic shard of the work whose
+// outputs merge in a fixed order, so Workers only changes wall clock. This
+// suite enforces the promise by running each query shape with Workers=1 and
+// Workers=8 and comparing every Update exactly — relations in physical order
+// (kinds, payloads, multiplicities), every bootstrap estimate field, and every
+// accounting metric. parThreshold drops to 1 so the small fixtures exercise
+// the parallel paths that production only enters on large batches.
+
+// sameF is float equality that treats NaN as equal to itself: a replicate can
+// legitimately produce NaN (e.g. AVG over an empty replicate), and the
+// invariant is "both runs produce the same bits", which NaN==NaN under ==
+// would falsely fail.
+func sameF(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func sameValue(a, b rel.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == rel.KFloat {
+		return sameF(a.Float(), b.Float())
+	}
+	return a.Equal(b)
+}
+
+func sameEstimate(a, b bootstrap.Estimate) bool {
+	return sameF(a.Value, b.Value) && sameF(a.Stdev, b.Stdev) &&
+		sameF(a.CILo, b.CILo) && sameF(a.CIHi, b.CIHi) && sameF(a.RelStd, b.RelStd)
+}
+
+func assertUpdatesIdentical(t *testing.T, seq, par []*Update) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("update counts differ: Workers=1 produced %d, Workers=8 produced %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.Batch != b.Batch || a.Batches != b.Batches {
+			t.Fatalf("update %d: batch labels differ: %d/%d vs %d/%d", i, a.Batch, a.Batches, b.Batch, b.Batches)
+		}
+		if !sameF(a.Fraction, b.Fraction) {
+			t.Errorf("batch %d: Fraction %v vs %v", a.Batch, a.Fraction, b.Fraction)
+		}
+		if a.Recomputed != b.Recomputed {
+			t.Errorf("batch %d: Recomputed %d vs %d", a.Batch, a.Recomputed, b.Recomputed)
+		}
+		if a.NDSetRows != b.NDSetRows {
+			t.Errorf("batch %d: NDSetRows %d vs %d", a.Batch, a.NDSetRows, b.NDSetRows)
+		}
+		if a.JoinStateBytes != b.JoinStateBytes || a.OtherStateBytes != b.OtherStateBytes {
+			t.Errorf("batch %d: state bytes (%d,%d) vs (%d,%d)", a.Batch,
+				a.JoinStateBytes, a.OtherStateBytes, b.JoinStateBytes, b.OtherStateBytes)
+		}
+		if a.ShuffleBytes != b.ShuffleBytes {
+			t.Errorf("batch %d: ShuffleBytes %d vs %d", a.Batch, a.ShuffleBytes, b.ShuffleBytes)
+		}
+		if a.Recoveries != b.Recoveries || a.RecoveredFrom != b.RecoveredFrom {
+			t.Errorf("batch %d: recovery (%d from %d) vs (%d from %d)", a.Batch,
+				a.Recoveries, a.RecoveredFrom, b.Recoveries, b.RecoveredFrom)
+		}
+		if len(a.Result.Tuples) != len(b.Result.Tuples) {
+			t.Fatalf("batch %d: result sizes differ: %d vs %d rows\nseq:\n%s\npar:\n%s",
+				a.Batch, len(a.Result.Tuples), len(b.Result.Tuples), a.Result, b.Result)
+		}
+		for ti := range a.Result.Tuples {
+			ta, tb := a.Result.Tuples[ti], b.Result.Tuples[ti]
+			if !sameF(ta.Mult, tb.Mult) || len(ta.Vals) != len(tb.Vals) {
+				t.Fatalf("batch %d row %d: tuples differ: %v×%v vs %v×%v",
+					a.Batch, ti, ta.Vals, ta.Mult, tb.Vals, tb.Mult)
+			}
+			for vi := range ta.Vals {
+				if !sameValue(ta.Vals[vi], tb.Vals[vi]) {
+					t.Fatalf("batch %d row %d col %d: %v (%s) vs %v (%s)", a.Batch, ti, vi,
+						ta.Vals[vi], ta.Vals[vi].Kind(), tb.Vals[vi], tb.Vals[vi].Kind())
+				}
+			}
+		}
+		if len(a.Estimates) != len(b.Estimates) {
+			t.Fatalf("batch %d: estimate row counts differ: %d vs %d", a.Batch, len(a.Estimates), len(b.Estimates))
+		}
+		for ri := range a.Estimates {
+			ra, rb := a.Estimates[ri], b.Estimates[ri]
+			if len(ra) != len(rb) {
+				t.Fatalf("batch %d: estimate row %d widths differ: %d vs %d", a.Batch, ri, len(ra), len(rb))
+			}
+			for ci := range ra {
+				if !sameEstimate(ra[ci], rb[ci]) {
+					t.Fatalf("batch %d: estimate [%d][%d] differs: %+v vs %+v", a.Batch, ri, ci, ra[ci], rb[ci])
+				}
+			}
+		}
+	}
+}
+
+// sortSessionsByBufferTime orders the streamed table ascending by buffer_time,
+// the adversarial arrival order that drives the running AVG(buffer_time)
+// monotonically upward and forces variation-range failures under a tight
+// slack (the recipe of TestTheorem1UnderRecovery).
+func sortSessionsByBufferTime(db *exec.DB) {
+	src, _ := db.Get("sessions")
+	sort.SliceStable(src.Tuples, func(i, j int) bool {
+		return src.Tuples[i].Vals[1].Float() < src.Tuples[j].Vals[1].Float()
+	})
+}
+
+func runEngineUpdates(t *testing.T, query string, n int, dbSeed int64, opts Options, sorted bool) ([]*Update, *Engine) {
+	t.Helper()
+	db := testDB(n, dbSeed)
+	if sorted {
+		sortSessionsByBufferTime(db)
+	}
+	eng, err := NewEngine(planQuery(t, query), db, opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	us, err := eng.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return us, eng
+}
+
+func theoremQuery(t *testing.T, name string) string {
+	t.Helper()
+	for _, q := range theoremQueries {
+		if q.name == name {
+			return q.query
+		}
+	}
+	t.Fatalf("no theorem query named %q", name)
+	return ""
+}
+
+func TestWorkerEquivalenceDeltaPipeline(t *testing.T) {
+	defer func(old int) { parThreshold = old }(parThreshold)
+	parThreshold = 1
+
+	cases := []struct {
+		name   string
+		query  string
+		n      int
+		dbSeed int64
+		opts   Options
+		sorted bool
+	}{
+		{"flat_group_by/iolap", theoremQuery(t, "flat_group_by"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"join_dim_group/iolap", theoremQuery(t, "join_dim_group"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"union_all/iolap", theoremQuery(t, "union_all"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"case_expression/iolap", theoremQuery(t, "case_expression"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"nested_correlated/iolap", theoremQuery(t, "nested_correlated"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"sbi/iolap", sbiQuery, 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"sbi/opt1", sbiQuery, 240, 11,
+			Options{Mode: ModeOPT1, Batches: 6, Trials: 25, Seed: 3}, false},
+		{"sbi/hda", sbiQuery, 240, 11,
+			Options{Mode: ModeHDA, Batches: 6, Trials: 25, Seed: 3}, false},
+		// Adversarial arrival order + tight slack: recovery (snapshot
+		// restore + merged-delta replay) must also be worker-invariant.
+		{"sbi/recovery", sbiQuery, 200, 7,
+			Options{Mode: ModeIOLAP, Batches: 10, Trials: 20, Slack: 0, Seed: 4}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seqOpts, parOpts := c.opts, c.opts
+			seqOpts.Workers = 1
+			parOpts.Workers = 8
+			seq, seqEng := runEngineUpdates(t, c.query, c.n, c.dbSeed, seqOpts, c.sorted)
+			par, parEng := runEngineUpdates(t, c.query, c.n, c.dbSeed, parOpts, c.sorted)
+			assertUpdatesIdentical(t, seq, par)
+			if seqEng.TotalRecoveries() != parEng.TotalRecoveries() {
+				t.Errorf("TotalRecoveries: %d vs %d", seqEng.TotalRecoveries(), parEng.TotalRecoveries())
+			}
+			if c.name == "sbi/recovery" && seqEng.TotalRecoveries() == 0 {
+				t.Fatalf("recovery fixture no longer triggers recoveries; the case tests nothing")
+			}
+		})
+	}
+}
+
+// TestWorkerEquivalenceAboveThreshold repeats one shape at the production
+// parThreshold with batches large enough to cross it, so the gate itself
+// (fanout on, threshold not artificially lowered) is covered too.
+func TestWorkerEquivalenceAboveThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fixture")
+	}
+	query := theoremQuery(t, "join_dim_group")
+	opts := Options{Mode: ModeIOLAP, Batches: 4, Trials: 10, Seed: 5}
+	seqOpts, parOpts := opts, opts
+	seqOpts.Workers = 1
+	parOpts.Workers = 8
+	// 4 batches × ~1600 rows each ≫ parThreshold (512).
+	seq, _ := runEngineUpdates(t, query, 6400, 21, seqOpts, false)
+	par, _ := runEngineUpdates(t, query, 6400, 21, parOpts, false)
+	assertUpdatesIdentical(t, seq, par)
+}

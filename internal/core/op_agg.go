@@ -253,11 +253,12 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			g.sketch[si].Add(val, r.Mult, r.W)
 		}
 	}
-	const parallelFoldThreshold = 2048
-	if len(in.news) >= parallelFoldThreshold && bc.pool != nil && bc.pool.Workers() > 1 && o.trials > 0 {
+	if bc.fanout(len(in.news)) && o.trials > 0 {
 		grps := make([]*aggGroup, len(in.news))
 		shard := make([]int, len(in.news))
 		w := bc.pool.Workers()
+		var batchGroups []*aggGroup
+		groupRows := make(map[*aggGroup][]int32)
 		for i, r := range in.news {
 			key := rel.EncodeKey(r.Vals, o.node.GroupBy)
 			g := o.getGroup(r.Vals, key)
@@ -268,14 +269,47 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			}
 			grps[i] = g
 			shard[i] = int(fnvShard(key, w))
+			if _, ok := groupRows[g]; !ok {
+				batchGroups = append(batchGroups, g)
+			}
+			groupRows[g] = append(groupRows[g], int32(i))
 		}
-		bc.pool.Map(w, func(worker int) {
-			for i := range grps {
-				if shard[i] == worker {
-					foldRow(grps[i], in.news[i])
+		if len(batchGroups)*2 <= w {
+			// Few groups (a global aggregate being the extreme): sharding
+			// groups across workers would idle most of the pool, so split
+			// the replicate dimension instead. Each accumulator still
+			// receives the same adds in row order — bit-identical.
+			var samples []agg.Sample
+			for _, g := range batchGroups {
+				for si := range o.specs {
+					sp := &o.specs[si]
+					if sp.argUncertain {
+						continue // folded from lineage rows each batch
+					}
+					samples = samples[:0]
+					for _, i := range groupRows[g] {
+						r := in.news[i]
+						val, ok := argValue(*sp, r, bc)
+						if !ok {
+							continue
+						}
+						samples = append(samples, agg.Sample{Val: val, Mult: r.Mult, W: r.W})
+					}
+					g.sketch[si].FoldPar(samples, bc.pool.Map, w)
 				}
 			}
-		})
+		} else {
+			// Many groups: shard them across workers so each sketch is
+			// mutated by exactly one worker, in row order — the
+			// pre-aggregation pattern a distributed deployment uses.
+			bc.pool.Map(w, func(worker int) {
+				for i := range grps {
+					if shard[i] == worker {
+						foldRow(grps[i], in.news[i])
+					}
+				}
+			})
+		}
 	} else {
 		for _, r := range in.news {
 			key := rel.EncodeKey(r.Vals, o.node.GroupBy)
@@ -321,6 +355,17 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 		}
 		return e.vecs[si]
 	}
+	// The scratch worklist: lineage rows first (per group, in emission
+	// order), then pending tuple-uncertain rows (in arrival order) — the
+	// order the sequential loops use, which fixes each scratch vector's fold
+	// order. Lineage rows fold only the lazy (uncertain-argument) specs;
+	// pending rows fold every spec.
+	type scratchRow struct {
+		key  string
+		row  delta.Row
+		pend bool
+	}
+	var work []scratchRow
 	if o.hasLazy {
 		for _, key := range o.order {
 			g := o.groups[key]
@@ -329,20 +374,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			}
 			bc.recomputed += g.lazy.Len()
 			for _, r := range g.lazy.Rows {
-				if !bc.lazy {
-					regenerate(r, bc)
-				}
-				for si := range o.specs {
-					sp := &o.specs[si]
-					if !sp.argUncertain {
-						continue
-					}
-					val, ok := argValue(*sp, r, bc)
-					if !ok {
-						continue
-					}
-					scratchVec(key, si).AddRep(val, argReps(*sp, r, bc), r.Mult, r.W)
-				}
+				work = append(work, scratchRow{key: key, row: r})
 			}
 		}
 	}
@@ -350,20 +382,117 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	bc.recomputed += len(in.unc)
 	for _, r := range in.unc {
 		key := rel.EncodeKey(r.Vals, o.node.GroupBy)
-		g := o.getGroup(r.Vals, key)
-		_ = g
+		o.getGroup(r.Vals, key)
 		touched[key] = true
-		for si := range o.specs {
-			sp := &o.specs[si]
-			val, ok := argValue(*sp, r, bc)
-			if !ok {
-				continue
+		work = append(work, scratchRow{key: key, row: r, pend: true})
+	}
+	applies := func(wr *scratchRow, si int) bool {
+		return wr.pend || o.specs[si].argUncertain
+	}
+	if !bc.fanout(len(work)) || o.trials == 0 {
+		for wi := range work {
+			wr := &work[wi]
+			if !wr.pend && !bc.lazy {
+				regenerate(wr.row, bc)
 			}
-			if sp.argUncertain {
-				scratchVec(key, si).AddRep(val, argReps(*sp, r, bc), r.Mult, r.W)
-			} else {
-				scratchVec(key, si).Add(val, r.Mult, r.W)
+			for si := range o.specs {
+				if !applies(wr, si) {
+					continue
+				}
+				sp := &o.specs[si]
+				val, ok := argValue(*sp, wr.row, bc)
+				if !ok {
+					continue
+				}
+				if sp.argUncertain {
+					scratchVec(wr.key, si).AddRep(val, argReps(*sp, wr.row, bc), wr.row.Mult, wr.row.W)
+				} else {
+					scratchVec(wr.key, si).Add(val, wr.row.Mult, wr.row.W)
+				}
 			}
+		}
+	} else {
+		// Parallel scratch fold, in three deterministic stages.
+		// 1. Pre-create every scratch vector sequentially (pool-map mutation
+		//    and epoch reset are not concurrency-safe).
+		for wi := range work {
+			wr := &work[wi]
+			for si := range o.specs {
+				if applies(wr, si) {
+					scratchVec(wr.key, si)
+				}
+			}
+		}
+		// 2. Evaluate arguments and replicates chunk-parallel — the
+		//    expensive part: argReps is O(trials) expression evaluations per
+		//    row, and the non-lazy modes additionally regenerate each
+		//    lineage row.
+		type evalCell struct {
+			val  float64
+			reps []float64
+			ok   bool
+		}
+		evals := make([][]evalCell, len(work))
+		bc.pool.MapChunks(len(work), func(_, lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				wr := &work[wi]
+				if !wr.pend && !bc.lazy {
+					regenerate(wr.row, bc)
+				}
+				cells := make([]evalCell, len(o.specs))
+				for si := range o.specs {
+					if !applies(wr, si) {
+						continue
+					}
+					sp := &o.specs[si]
+					val, ok := argValue(*sp, wr.row, bc)
+					if !ok {
+						continue
+					}
+					cells[si] = evalCell{val: val, ok: true}
+					if sp.argUncertain {
+						cells[si].reps = argReps(*sp, wr.row, bc)
+					}
+				}
+				evals[wi] = cells
+			}
+		})
+		// 3. Gather per-vector sample lists in work order and fold: one
+		//    worker per vector when there are many, replicate-split when
+		//    few. Either way every vector folds its samples in the exact
+		//    order the sequential loop would.
+		type scratchItem struct {
+			vec     *agg.Vector
+			samples []agg.Sample
+		}
+		var items []*scratchItem
+		byVec := make(map[*agg.Vector]*scratchItem)
+		for wi := range work {
+			wr := &work[wi]
+			for si := range evals[wi] {
+				cell := &evals[wi][si]
+				if !cell.ok {
+					continue
+				}
+				vec := scratchVec(wr.key, si)
+				it := byVec[vec]
+				if it == nil {
+					it = &scratchItem{vec: vec}
+					byVec[vec] = it
+					items = append(items, it)
+				}
+				it.samples = append(it.samples, agg.Sample{Val: cell.val, Reps: cell.reps, Mult: wr.row.Mult, W: wr.row.W})
+			}
+		}
+		w := bc.pool.Workers()
+		if len(items)*2 <= w {
+			for _, it := range items {
+				it.vec.FoldPar(it.samples, bc.pool.Map, w)
+			}
+		} else {
+			bc.pool.Map(len(items), func(i int) {
+				items[i].vec.Fold(items[i].samples)
+			})
 		}
 	}
 	// Phase C: read results, observe variation ranges, publish the output

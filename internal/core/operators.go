@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"iolap/internal/bootstrap"
 	"iolap/internal/delta"
@@ -105,7 +106,7 @@ func (o *opScan) step(bc *batchContext) (output, error) {
 		}
 		// Weight derivation is per-tuple-index deterministic, so the
 		// partition-parallel path is bit-identical to the sequential one.
-		if o.poisson != nil && bc.pool != nil && d.Len() >= 512 {
+		if o.poisson != nil && bc.fanout(d.Len()) {
 			bc.pool.Map(d.Len(), fill)
 		} else {
 			for i := range rows {
@@ -166,30 +167,83 @@ func (o *opSelect) classify(r delta.Row, bc *batchContext) expr.Tri {
 	return o.node.Pred.Tri(r.Vals, bc)
 }
 
+// selVerdict is one row's precomputed per-batch SELECT decision: its
+// classification under the current variation ranges and — only when that is
+// still non-deterministic — the current-value predicate outcome.
+type selVerdict struct {
+	tri  expr.Tri
+	pass bool
+}
+
+// classifyAll computes verdicts for a row set. Classification and predicate
+// evaluation are pure reads of the row and the published aggregate tables,
+// so large sets fan out over contiguous chunks; writing verdict i into slot
+// i keeps the subsequent (sequential) merge identical to the one-row-at-a-
+// time loop. regen additionally pays the per-row regeneration cost of the
+// non-lazy modes (ModeOPT1/ModeHDA state refresh).
+func (o *opSelect) classifyAll(rows []delta.Row, bc *batchContext, regen bool) []selVerdict {
+	vs := make([]selVerdict, len(rows))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := rows[i]
+			if regen && !bc.lazy {
+				regenerate(r, bc)
+			}
+			v := selVerdict{tri: o.classify(r, bc)}
+			if v.tri != expr.True && v.tri != expr.False {
+				v.pass = evalTrue(o.node.Pred, r, bc)
+			}
+			vs[i] = v
+		}
+	}
+	if bc.fanout(len(rows)) {
+		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { fill(lo, hi) })
+	} else {
+		fill(0, len(rows))
+	}
+	return vs
+}
+
+// filterAll evaluates the predicate under current values for every row,
+// chunk-parallel for large sets.
+func (o *opSelect) filterAll(rows []delta.Row, bc *batchContext) []bool {
+	pass := make([]bool, len(rows))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pass[i] = evalTrue(o.node.Pred, rows[i], bc)
+		}
+	}
+	if bc.fanout(len(rows)) {
+		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { fill(lo, hi) })
+	} else {
+		fill(0, len(rows))
+	}
+	return pass
+}
+
 func (o *opSelect) step(bc *batchContext) (output, error) {
 	in, err := o.child.step(bc)
 	if err != nil {
 		return output{}, err
 	}
 	var out output
-	pred := o.node.Pred
 	// 1. Refresh and re-classify the non-deterministic set (this is the
-	// recomputation the paper's Figure 8(e,f) counts).
+	// recomputation the paper's Figure 8(e,f) counts). Verdicts are
+	// computed partition-parallel; promotion/pruning stays a sequential
+	// ordered merge.
 	if o.state.Len() > 0 {
 		bc.recomputed += o.state.Len()
+		vs := o.classifyAll(o.state.Rows, bc, true)
 		kept := o.state.Rows[:0]
-		for _, r := range o.state.Rows {
-			if !bc.lazy {
-				regenerate(r, bc)
-			}
-			switch o.classify(r, bc) {
+		for i, r := range o.state.Rows {
+			switch vs[i].tri {
 			case expr.True:
 				out.news = append(out.news, r) // promoted: decision final
 			case expr.False:
 				// pruned permanently
 			default:
 				kept = append(kept, r)
-				if evalTrue(pred, r, bc) {
+				if vs[i].pass {
 					out.unc = append(out.unc, r)
 				}
 			}
@@ -197,30 +251,37 @@ func (o *opSelect) step(bc *batchContext) (output, error) {
 		o.state.Rows = kept
 	}
 	// 2. New certain input rows.
-	for _, r := range in.news {
-		if !o.predUncertain {
-			if evalTrue(pred, r, bc) {
+	if len(in.news) > 0 && !o.predUncertain {
+		pass := o.filterAll(in.news, bc)
+		for i, r := range in.news {
+			if pass[i] {
 				out.news = append(out.news, r)
 			}
-			continue
 		}
-		switch o.classify(r, bc) {
-		case expr.True:
-			out.news = append(out.news, r)
-		case expr.False:
-		default:
-			o.state.Add(r.Clone())
-			if evalTrue(pred, r, bc) {
-				out.unc = append(out.unc, r)
+	} else if len(in.news) > 0 {
+		vs := o.classifyAll(in.news, bc, false)
+		for i, r := range in.news {
+			switch vs[i].tri {
+			case expr.True:
+				out.news = append(out.news, r)
+			case expr.False:
+			default:
+				o.state.Add(r.Clone())
+				if vs[i].pass {
+					out.unc = append(out.unc, r)
+				}
 			}
 		}
 	}
 	// 3. Upstream tuple-uncertain rows: filter by current values; their
 	// uncertainty is owned upstream, so they stay uncertain here.
 	bc.recomputed += len(in.unc)
-	for _, r := range in.unc {
-		if evalTrue(pred, r, bc) {
-			out.unc = append(out.unc, r)
+	if len(in.unc) > 0 {
+		pass := o.filterAll(in.unc, bc)
+		for i, r := range in.unc {
+			if pass[i] {
+				out.unc = append(out.unc, r)
+			}
 		}
 	}
 	o.record(out)
@@ -228,7 +289,8 @@ func (o *opSelect) step(bc *batchContext) (output, error) {
 }
 
 // regenSink defeats dead-code elimination of the OPT1 regeneration work.
-var regenSink int
+// Atomic because regeneration now runs inside partition-parallel loops.
+var regenSink atomic.Int64
 
 // regenerate simulates the non-lazy refresh of a state row (ModeOPT1 /
 // ModeHDA): instead of dereferencing lineage in place, the row is rebuilt —
@@ -245,7 +307,7 @@ func regenerate(r delta.Row, bc *batchContext) {
 			}
 		}
 	}
-	regenSink += len(rr.Vals)
+	regenSink.Add(int64(len(rr.Vals)))
 }
 
 func (o *opSelect) snapshot() interface{}    { return o.state.Snapshot() }
@@ -271,17 +333,27 @@ func (o *opProject) apply(rows []delta.Row, bc *batchContext) []delta.Row {
 	if len(rows) == 0 {
 		return nil
 	}
-	out := make([]delta.Row, 0, len(rows))
-	for _, r := range rows {
-		vals := make([]rel.Value, len(o.node.Exprs))
-		for i, e := range o.node.Exprs {
-			if col, ok := e.(*expr.Col); ok {
-				vals[i] = r.Vals[col.Idx] // pass refs through
-				continue
+	// Rows are independent and the expressions deterministic, so large sets
+	// fill output slots chunk-parallel (slot i from row i: order preserved).
+	out := make([]delta.Row, len(rows))
+	fill := func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			r := rows[ri]
+			vals := make([]rel.Value, len(o.node.Exprs))
+			for i, e := range o.node.Exprs {
+				if col, ok := e.(*expr.Col); ok {
+					vals[i] = r.Vals[col.Idx] // pass refs through
+					continue
+				}
+				vals[i] = e.Eval(r.Vals, bc)
 			}
-			vals[i] = e.Eval(r.Vals, bc)
+			out[ri] = delta.Row{Vals: vals, Mult: r.Mult, W: r.W}
 		}
-		out = append(out, delta.Row{Vals: vals, Mult: r.Mult, W: r.W})
+	}
+	if bc.fanout(len(rows)) {
+		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { fill(lo, hi) })
+	} else {
+		fill(0, len(rows))
 	}
 	return out
 }
@@ -368,6 +440,45 @@ func (o *opJoin) joinRows(l, r delta.Row) delta.Row {
 	return delta.Row{Vals: vals, Mult: l.Mult * r.Mult, W: delta.CombineWeights(l.W, r.W)}
 }
 
+// probeInto joins each probe-side row against the store and appends the
+// matches to dst in probe order (store rows in insertion order per key —
+// exactly the sequential nested loop's output). Large probe sets fan out
+// over contiguous chunks whose per-chunk buffers are concatenated in chunk
+// order; the store is read-only during the probe, so this is the
+// deterministic shard → ordered merge pattern. probeIsLeft orients the
+// output row (probe ⋈ match vs match ⋈ probe).
+func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, store *delta.HashStore, probeIsLeft bool, bc *batchContext) []delta.Row {
+	join := func(p, m delta.Row) delta.Row {
+		if probeIsLeft {
+			return o.joinRows(p, m)
+		}
+		return o.joinRows(m, p)
+	}
+	if !bc.fanout(len(probe)) {
+		for _, p := range probe {
+			for _, m := range store.Probe(p.Vals, probeKeys) {
+				dst = append(dst, join(p, m))
+			}
+		}
+		return dst
+	}
+	outs := make([][]delta.Row, bc.pool.Chunks(len(probe)))
+	bc.pool.MapChunks(len(probe), func(c, lo, hi int) {
+		var buf []delta.Row
+		for i := lo; i < hi; i++ {
+			p := probe[i]
+			for _, m := range store.Probe(p.Vals, probeKeys) {
+				buf = append(buf, join(p, m))
+			}
+		}
+		outs[c] = buf
+	})
+	for _, b := range outs {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
 func (o *opJoin) step(bc *batchContext) (output, error) {
 	lo, err := o.l.step(bc)
 	if err != nil {
@@ -406,42 +517,26 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 		}
 	}
 	// Certain deltas (classic delta-join over the certain parts):
-	// ΔL ⋈ C_R(old), C_L(old) ⋈ ΔR, ΔL ⋈ ΔR.
+	// ΔL ⋈ C_R(old), C_L(old) ⋈ ΔR, ΔL ⋈ ΔR. Probes run partition-parallel
+	// over the probe side; builds run partition-parallel over shards.
 	if o.rStore != nil {
-		for _, l := range lo.news {
-			for _, r := range o.rStore.Probe(l.Vals, lKeys) {
-				out.news = append(out.news, o.joinRows(l, r))
-			}
-		}
+		out.news = o.probeInto(out.news, lo.news, lKeys, o.rStore, true, bc)
 	}
 	if o.lStore != nil {
-		for _, r := range ro.news {
-			for _, l := range o.lStore.Probe(r.Vals, rKeys) {
-				out.news = append(out.news, o.joinRows(l, r))
-			}
-		}
+		out.news = o.probeInto(out.news, ro.news, rKeys, o.lStore, false, bc)
 	}
 	if len(lo.news) > 0 && len(ro.news) > 0 {
 		newR := delta.NewHashStore(rKeys)
-		for _, r := range ro.news {
-			newR.Add(r)
-		}
-		for _, l := range lo.news {
-			for _, r := range newR.Probe(l.Vals, lKeys) {
-				out.news = append(out.news, o.joinRows(l, r))
-			}
-		}
+		newR.AddBatch(ro.news, false, bc.par(len(ro.news)))
+		out.news = o.probeInto(out.news, lo.news, lKeys, newR, true, bc)
 	}
-	// Fold this batch's certain rows into the stores.
+	// Fold this batch's certain rows into the stores (rows are cloned: store
+	// contents are immutable once added).
 	if o.lStore != nil {
-		for _, l := range lo.news {
-			o.lStore.Add(l.Clone())
-		}
+		o.lStore.AddBatch(lo.news, true, bc.par(len(lo.news)))
 	}
 	if o.rStore != nil {
-		for _, r := range ro.news {
-			o.rStore.Add(r.Clone())
-		}
+		o.rStore.AddBatch(ro.news, true, bc.par(len(ro.news)))
 	}
 	// Tuple-uncertain combinations, recomputed every batch:
 	// U_L ⋈ C_R, C_L ⋈ U_R, U_L ⋈ U_R.
@@ -451,30 +546,16 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 			return output{}, fmt.Errorf("core: join #%d: left tuple uncertainty requires a cached right side", o.node.ID())
 		}
 		if o.rStore != nil {
-			for _, l := range lo.unc {
-				for _, r := range o.rStore.Probe(l.Vals, lKeys) {
-					out.unc = append(out.unc, o.joinRows(l, r))
-				}
-			}
+			out.unc = o.probeInto(out.unc, lo.unc, lKeys, o.rStore, true, bc)
 		}
 	}
 	if len(ro.unc) > 0 && o.lStore != nil {
-		for _, r := range ro.unc {
-			for _, l := range o.lStore.Probe(r.Vals, rKeys) {
-				out.unc = append(out.unc, o.joinRows(l, r))
-			}
-		}
+		out.unc = o.probeInto(out.unc, ro.unc, rKeys, o.lStore, false, bc)
 	}
 	if len(lo.unc) > 0 && len(ro.unc) > 0 {
 		uncR := delta.NewHashStore(rKeys)
-		for _, r := range ro.unc {
-			uncR.Add(r)
-		}
-		for _, l := range lo.unc {
-			for _, r := range uncR.Probe(l.Vals, lKeys) {
-				out.unc = append(out.unc, o.joinRows(l, r))
-			}
-		}
+		uncR.AddBatch(ro.unc, false, bc.par(len(ro.unc)))
+		out.unc = o.probeInto(out.unc, lo.unc, lKeys, uncR, true, bc)
 	}
 	o.record(out)
 	return out, nil

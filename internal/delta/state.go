@@ -9,7 +9,10 @@
 // property tests in this package check that subsumption directly.
 package delta
 
-import "iolap/internal/rel"
+import (
+	"iolap/internal/cluster"
+	"iolap/internal/rel"
+)
 
 // Row is the unit of dataflow between online operators: a tuple, its
 // bootstrap Poisson weight vector (nil for rows not derived from a streamed
@@ -101,40 +104,110 @@ func (s *RowSet) Restore(snap *RowSet) {
 	}
 }
 
+// storeShards is the fixed internal shard count of a HashStore. A key lives
+// in exactly one shard (by FNV-1a of its encoding), which lets AddBatch give
+// each shard to one worker while preserving per-key insertion order.
+const storeShards = 16
+
 // HashStore is a join side's accumulated certain rows, hashed by join key
 // (Section 4.2's JOIN state). Insertion order is preserved per key for
-// deterministic replay.
+// deterministic replay. Internally the key space is split into a fixed
+// number of shards so batch builds can run partition-parallel.
 type HashStore struct {
-	keys []int // key column indexes
-	m    map[string][]Row
-	n    int
-	size int
+	keys   []int // key column indexes
+	shards [storeShards]map[string][]Row
+	n      int
+	size   int
 }
 
 // NewHashStore builds a store hashing on the given column indexes.
 func NewHashStore(keyCols []int) *HashStore {
-	return &HashStore{keys: keyCols, m: make(map[string][]Row)}
+	h := &HashStore{keys: keyCols}
+	for i := range h.shards {
+		h.shards[i] = make(map[string][]Row)
+	}
+	return h
+}
+
+func shardOf(key string) int {
+	var f uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		f ^= uint64(key[i])
+		f *= 0x100000001b3
+	}
+	return int(f % storeShards)
 }
 
 // Add inserts a row under its key.
 func (h *HashStore) Add(r Row) {
 	k := rel.EncodeKey(r.Vals, h.keys)
-	h.m[k] = append(h.m[k], r)
+	m := h.shards[shardOf(k)]
+	m[k] = append(m[k], r)
 	h.n++
 	h.size += r.SizeBytes()
 }
 
+// AddBatch inserts a slice of rows, cloning each first when clone is set.
+// With a multi-worker pool the build runs partition-parallel: keys are
+// encoded chunk-parallel, rows are bucketed by shard in input order, and one
+// worker owns each shard — so every key's row list ends up in exactly the
+// order a sequential Add loop would produce, and the resulting store is
+// indistinguishable from the sequential build.
+func (h *HashStore) AddBatch(rows []Row, clone bool, pool *cluster.Pool) {
+	if pool == nil || pool.Workers() == 1 || len(rows) < storeShards {
+		for _, r := range rows {
+			if clone {
+				r = r.Clone()
+			}
+			h.Add(r)
+		}
+		return
+	}
+	keys := make([]string, len(rows))
+	pool.MapChunks(len(rows), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = rel.EncodeKey(rows[i].Vals, h.keys)
+		}
+	})
+	var byShard [storeShards][]int32
+	for i, k := range keys {
+		s := shardOf(k)
+		byShard[s] = append(byShard[s], int32(i))
+	}
+	var ns, sizes [storeShards]int
+	pool.Map(storeShards, func(s int) {
+		m := h.shards[s]
+		for _, i := range byShard[s] {
+			r := rows[i]
+			if clone {
+				r = r.Clone()
+			}
+			m[keys[i]] = append(m[keys[i]], r)
+			ns[s]++
+			sizes[s] += r.SizeBytes()
+		}
+	})
+	for s := 0; s < storeShards; s++ {
+		h.n += ns[s]
+		h.size += sizes[s]
+	}
+}
+
 // Probe returns the rows matching the key columns of probe (resolved through
-// the probe-side key indexes).
+// the probe-side key indexes). Read-only: safe for concurrent use while no
+// Add/AddBatch/Restore is in flight.
 func (h *HashStore) Probe(probeVals []rel.Value, probeKeys []int) []Row {
-	return h.m[rel.EncodeKey(probeVals, probeKeys)]
+	k := rel.EncodeKey(probeVals, probeKeys)
+	return h.shards[shardOf(k)][k]
 }
 
 // Each visits all stored rows.
 func (h *HashStore) Each(fn func(Row)) {
-	for _, rows := range h.m {
-		for _, r := range rows {
-			fn(r)
+	for _, m := range h.shards {
+		for _, rows := range m {
+			for _, r := range rows {
+				fn(r)
+			}
 		}
 	}
 }
@@ -158,9 +231,11 @@ type HashSnap struct {
 
 // Snapshot records the current per-key lengths.
 func (h *HashStore) Snapshot() *HashSnap {
-	s := &HashSnap{perKey: make(map[string]int, len(h.m)), n: h.n, size: h.size}
-	for k, rows := range h.m {
-		s.perKey[k] = len(rows)
+	s := &HashSnap{perKey: make(map[string]int), n: h.n, size: h.size}
+	for _, m := range h.shards {
+		for k, rows := range m {
+			s.perKey[k] = len(rows)
+		}
 	}
 	return s
 }
@@ -169,14 +244,16 @@ func (h *HashStore) Snapshot() *HashSnap {
 // for snapshots of this store's own past (rows are never mutated in place,
 // so truncation recovers the exact earlier contents).
 func (h *HashStore) Restore(snap *HashSnap) {
-	for k, rows := range h.m {
-		want, ok := snap.perKey[k]
-		if !ok {
-			delete(h.m, k)
-			continue
-		}
-		if want < len(rows) {
-			h.m[k] = rows[:want]
+	for _, m := range h.shards {
+		for k, rows := range m {
+			want, ok := snap.perKey[k]
+			if !ok {
+				delete(m, k)
+				continue
+			}
+			if want < len(rows) {
+				m[k] = rows[:want]
+			}
 		}
 	}
 	h.n = snap.n

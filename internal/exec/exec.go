@@ -6,12 +6,19 @@
 //     SparkSQL in Section 8): one shot over all the data, exact answer;
 //   - the test oracle for Theorem 1: iOLAP's batch-i output must equal
 //     Run(Q, D_i) with streamed tuples carrying multiplicity m_i.
+//
+// Evaluation is partition-parallel over a cluster.Pool, following the same
+// deterministic shard → ordered merge discipline as the online operators:
+// RunWorkers(q, db, 1) and RunWorkers(q, db, n) return byte-identical
+// relations, so the oracle stays exact at any parallelism.
 package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"iolap/internal/agg"
+	"iolap/internal/cluster"
 	"iolap/internal/plan"
 	"iolap/internal/rel"
 )
@@ -33,24 +40,43 @@ func (db *DB) Get(name string) (*rel.Relation, bool) {
 	return r, ok
 }
 
-// Tables returns the table names (unordered).
+// Tables returns the table names, sorted for run-to-run determinism.
 func (db *DB) Tables() []string {
 	out := make([]string, 0, len(db.tables))
 	for name := range db.tables {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
+// parThreshold is the tuple-count floor below which plan nodes evaluate
+// sequentially; a package variable so the equivalence tests can force the
+// parallel paths onto small fixtures.
+var parThreshold = 2048
+
 // Run evaluates the plan against the database and returns the result
-// relation. The plan must be finalized and valid.
+// relation. The plan must be finalized and valid. Parallelism defaults to
+// GOMAXPROCS; the result is identical at any worker count.
 func Run(root plan.Node, db *DB) (*rel.Relation, error) {
-	e := &executor{db: db}
+	return RunWorkers(root, db, 0)
+}
+
+// RunWorkers evaluates the plan with an explicit parallelism (0 selects
+// GOMAXPROCS, 1 forces sequential execution).
+func RunWorkers(root plan.Node, db *DB, workers int) (*rel.Relation, error) {
+	e := &executor{db: db, pool: cluster.NewPool(workers)}
 	return e.eval(root)
 }
 
 type executor struct {
-	db *DB
+	db   *DB
+	pool *cluster.Pool
+}
+
+// fanout reports whether a node processing n tuples should use the pool.
+func (e *executor) fanout(n int) bool {
+	return e.pool.Workers() > 1 && n >= parThreshold
 }
 
 func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
@@ -70,9 +96,20 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 			return nil, err
 		}
 		out := rel.NewRelation(in.Schema)
-		for _, tp := range in.Tuples {
-			v := t.Pred.Eval(tp.Vals, nil)
-			if !v.IsNull() && v.Kind() == rel.KBool && v.Bool() {
+		keep := make([]bool, len(in.Tuples))
+		fill := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := t.Pred.Eval(in.Tuples[i].Vals, nil)
+				keep[i] = !v.IsNull() && v.Kind() == rel.KBool && v.Bool()
+			}
+		}
+		if e.fanout(len(in.Tuples)) {
+			e.pool.MapChunks(len(in.Tuples), func(_, lo, hi int) { fill(lo, hi) })
+		} else {
+			fill(0, len(in.Tuples))
+		}
+		for i, tp := range in.Tuples {
+			if keep[i] {
 				out.Tuples = append(out.Tuples, tp)
 			}
 		}
@@ -84,12 +121,21 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 			return nil, err
 		}
 		out := rel.NewRelation(t.Out)
-		for _, tp := range in.Tuples {
-			vals := make([]rel.Value, len(t.Exprs))
-			for i, ex := range t.Exprs {
-				vals[i] = ex.Eval(tp.Vals, nil)
+		out.Tuples = make([]rel.Tuple, len(in.Tuples))
+		fill := func(lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				tp := in.Tuples[ti]
+				vals := make([]rel.Value, len(t.Exprs))
+				for i, ex := range t.Exprs {
+					vals[i] = ex.Eval(tp.Vals, nil)
+				}
+				out.Tuples[ti] = rel.Tuple{Vals: vals, Mult: tp.Mult}
 			}
-			out.AppendMult(tp.Mult, vals...)
+		}
+		if e.fanout(len(in.Tuples)) {
+			e.pool.MapChunks(len(in.Tuples), func(_, lo, hi int) { fill(lo, hi) })
+		} else {
+			fill(0, len(in.Tuples))
 		}
 		return out, nil
 
@@ -102,7 +148,7 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return hashJoin(l, r, t.LKeys, t.RKeys, t.Out), nil
+		return e.hashJoin(l, r, t.LKeys, t.RKeys, t.Out), nil
 
 	case *plan.Union:
 		l, err := e.eval(t.L)
@@ -123,41 +169,106 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Aggregate(in, t, 1.0), nil
+		return aggregate(in, t, 1.0, e.pool), nil
 
 	default:
 		return nil, fmt.Errorf("exec: unknown node %T", n)
 	}
 }
 
-// hashJoin performs the equi-join of two materialised relations.
-func hashJoin(l, r *rel.Relation, lKeys, rKeys []int, out rel.Schema) *rel.Relation {
-	res := rel.NewRelation(out)
-	// Build on the smaller side (by physical tuple count).
-	if len(r.Tuples) <= len(l.Tuples) {
-		build := make(map[string][]rel.Tuple)
-		for _, rt := range r.Tuples {
-			k := rel.EncodeKey(rt.Vals, rKeys)
-			build[k] = append(build[k], rt)
+// joinShards is the build-side shard count of the parallel hash join.
+const joinShards = 16
+
+// buildIndex hashes tuples by their key columns into a fixed number of
+// key-space shards, building shards in parallel while preserving per-key
+// tuple order (bucketing by shard happens sequentially in input order; one
+// worker then owns each shard).
+func (e *executor) buildIndex(tuples []rel.Tuple, keyCols []int) *[joinShards]map[string][]rel.Tuple {
+	var shards [joinShards]map[string][]rel.Tuple
+	for i := range shards {
+		shards[i] = make(map[string][]rel.Tuple)
+	}
+	if !e.fanout(len(tuples)) {
+		for _, tp := range tuples {
+			k := rel.EncodeKey(tp.Vals, keyCols)
+			s := joinShard(k)
+			shards[s][k] = append(shards[s][k], tp)
 		}
-		for _, lt := range l.Tuples {
-			k := rel.EncodeKey(lt.Vals, lKeys)
-			for _, rt := range build[k] {
-				res.Tuples = append(res.Tuples, joinTuple(lt, rt))
+		return &shards
+	}
+	keys := make([]string, len(tuples))
+	e.pool.MapChunks(len(tuples), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = rel.EncodeKey(tuples[i].Vals, keyCols)
+		}
+	})
+	var byShard [joinShards][]int32
+	for i, k := range keys {
+		s := joinShard(k)
+		byShard[s] = append(byShard[s], int32(i))
+	}
+	e.pool.Map(joinShards, func(s int) {
+		m := shards[s]
+		for _, i := range byShard[s] {
+			m[keys[i]] = append(m[keys[i]], tuples[i])
+		}
+	})
+	return &shards
+}
+
+func joinShard(key string) int {
+	var f uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		f ^= uint64(key[i])
+		f *= 0x100000001b3
+	}
+	return int(f % joinShards)
+}
+
+// hashJoin performs the equi-join of two materialised relations: sharded
+// parallel build on the smaller side, chunk-parallel probe with per-chunk
+// buffers concatenated in chunk order — output order identical to the
+// sequential nested loop.
+func (e *executor) hashJoin(l, r *rel.Relation, lKeys, rKeys []int, out rel.Schema) *rel.Relation {
+	res := rel.NewRelation(out)
+	buildRight := len(r.Tuples) <= len(l.Tuples)
+	var build *[joinShards]map[string][]rel.Tuple
+	var probe []rel.Tuple
+	var probeKeys []int
+	if buildRight {
+		build = e.buildIndex(r.Tuples, rKeys)
+		probe, probeKeys = l.Tuples, lKeys
+	} else {
+		build = e.buildIndex(l.Tuples, lKeys)
+		probe, probeKeys = r.Tuples, rKeys
+	}
+	emit := func(dst []rel.Tuple, p rel.Tuple) []rel.Tuple {
+		k := rel.EncodeKey(p.Vals, probeKeys)
+		for _, m := range build[joinShard(k)][k] {
+			if buildRight {
+				dst = append(dst, joinTuple(p, m))
+			} else {
+				dst = append(dst, joinTuple(m, p))
 			}
+		}
+		return dst
+	}
+	if !e.fanout(len(probe)) {
+		for _, p := range probe {
+			res.Tuples = emit(res.Tuples, p)
 		}
 		return res
 	}
-	build := make(map[string][]rel.Tuple)
-	for _, lt := range l.Tuples {
-		k := rel.EncodeKey(lt.Vals, lKeys)
-		build[k] = append(build[k], lt)
-	}
-	for _, rt := range r.Tuples {
-		k := rel.EncodeKey(rt.Vals, rKeys)
-		for _, lt := range build[k] {
-			res.Tuples = append(res.Tuples, joinTuple(lt, rt))
+	outs := make([][]rel.Tuple, e.pool.Chunks(len(probe)))
+	e.pool.MapChunks(len(probe), func(c, lo, hi int) {
+		var buf []rel.Tuple
+		for i := lo; i < hi; i++ {
+			buf = emit(buf, probe[i])
 		}
+		outs[c] = buf
+	})
+	for _, b := range outs {
+		res.Tuples = append(res.Tuples, b...)
 	}
 	return res
 }
@@ -171,50 +282,105 @@ func joinTuple(l, r rel.Tuple) rel.Tuple {
 
 // Aggregate evaluates a group-by/aggregate node over a materialised input
 // with the given extensive scale factor. It is exported because the online
-// engines reuse it for recomputation paths.
+// engines reuse it for recomputation paths. Result kinds follow the node's
+// output schema via rel.Numeric: an integer-typed aggregate column (e.g. an
+// unscaled COUNT) comes back as INT when the value is integral, FLOAT
+// otherwise — never losing precision to the declared kind.
 func Aggregate(in *rel.Relation, t *plan.Aggregate, scale float64) *rel.Relation {
+	return aggregate(in, t, scale, cluster.NewPool(1))
+}
+
+func aggregate(in *rel.Relation, t *plan.Aggregate, scale float64, pool *cluster.Pool) *rel.Relation {
 	type group struct {
 		key  []rel.Value
 		accs []agg.Accumulator
 	}
+	newGroup := func(tp rel.Tuple) *group {
+		key := make([]rel.Value, len(t.GroupBy))
+		for i, c := range t.GroupBy {
+			key[i] = tp.Vals[c]
+		}
+		accs := make([]agg.Accumulator, len(t.Aggs))
+		for i, sp := range t.Aggs {
+			accs[i] = sp.Fn.New()
+		}
+		return &group{key: key, accs: accs}
+	}
+	// argVal evaluates aggregate argument i for a tuple; ok=false skips the
+	// tuple for that aggregate (the NULL semantics of the sequential loop).
+	argVal := func(i int, tp rel.Tuple) (float64, bool) {
+		sp := t.Aggs[i]
+		if sp.Arg == nil {
+			return 0, true // COUNT(*)
+		}
+		v := sp.Arg.Eval(tp.Vals, nil)
+		if v.IsNull() {
+			return 0, false
+		}
+		if sp.Fn.AcceptsAny {
+			return v.NumericKey(), true
+		}
+		if !v.IsNumeric() {
+			return 0, false
+		}
+		return v.Float(), true
+	}
 	groups := make(map[string]*group)
 	var order []string
-	for _, tp := range in.Tuples {
-		if tp.Mult == 0 {
-			continue
+	if pool.Workers() > 1 && len(in.Tuples) >= parThreshold {
+		// Parallel fold: groups are created sequentially in first-seen order
+		// and sharded across workers by creation index; each worker folds
+		// its groups' tuples in input order — the same add sequence per
+		// accumulator as the sequential loop.
+		w := pool.Workers()
+		gptr := make([]*group, len(in.Tuples))
+		shard := make([]int, len(in.Tuples))
+		gshard := make(map[*group]int)
+		for ti, tp := range in.Tuples {
+			if tp.Mult == 0 {
+				continue
+			}
+			k := rel.EncodeKey(tp.Vals, t.GroupBy)
+			g, ok := groups[k]
+			if !ok {
+				g = newGroup(tp)
+				groups[k] = g
+				order = append(order, k)
+				gshard[g] = (len(order) - 1) % w
+			}
+			gptr[ti] = g
+			shard[ti] = gshard[g]
 		}
-		k := rel.EncodeKey(tp.Vals, t.GroupBy)
-		g, ok := groups[k]
-		if !ok {
-			key := make([]rel.Value, len(t.GroupBy))
-			for i, c := range t.GroupBy {
-				key[i] = tp.Vals[c]
+		pool.Map(w, func(worker int) {
+			for ti, g := range gptr {
+				if g == nil || shard[ti] != worker {
+					continue
+				}
+				tp := in.Tuples[ti]
+				for i := range t.Aggs {
+					if v, ok := argVal(i, tp); ok {
+						g.accs[i].Add(v, tp.Mult)
+					}
+				}
 			}
-			accs := make([]agg.Accumulator, len(t.Aggs))
-			for i, sp := range t.Aggs {
-				accs[i] = sp.Fn.New()
-			}
-			g = &group{key: key, accs: accs}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, sp := range t.Aggs {
-			if sp.Arg == nil {
-				g.accs[i].Add(0, tp.Mult) // COUNT(*)
+		})
+	} else {
+		for _, tp := range in.Tuples {
+			if tp.Mult == 0 {
 				continue
 			}
-			v := sp.Arg.Eval(tp.Vals, nil)
-			if v.IsNull() {
-				continue
+			k := rel.EncodeKey(tp.Vals, t.GroupBy)
+			g, ok := groups[k]
+			if !ok {
+				g = newGroup(tp)
+				groups[k] = g
+				order = append(order, k)
 			}
-			if sp.Fn.AcceptsAny {
-				g.accs[i].Add(v.NumericKey(), tp.Mult)
-				continue
+			for i := range t.Aggs {
+				if v, ok := argVal(i, tp); ok {
+					g.accs[i].Add(v, tp.Mult)
+				}
 			}
-			if !v.IsNumeric() {
-				continue
-			}
-			g.accs[i].Add(v.Float(), tp.Mult)
 		}
 	}
 	// SQL semantics: a global aggregate (no GROUP BY) over empty input
@@ -232,8 +398,8 @@ func Aggregate(in *rel.Relation, t *plan.Aggregate, scale float64) *rel.Relation
 		g := groups[k]
 		vals := make([]rel.Value, 0, len(g.key)+len(g.accs))
 		vals = append(vals, g.key...)
-		for _, acc := range g.accs {
-			vals = append(vals, rel.Float(acc.Result(scale)))
+		for i, acc := range g.accs {
+			vals = append(vals, rel.Numeric(acc.Result(scale), t.Out[len(t.GroupBy)+i].Type))
 		}
 		out.Append(vals...)
 	}

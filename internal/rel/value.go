@@ -150,6 +150,18 @@ func (v Value) Float() float64 {
 // IsNumeric reports whether the value is an INT or FLOAT.
 func (v Value) IsNumeric() bool { return v.kind == KInt || v.kind == KFloat }
 
+// Numeric wraps a computed float64 under a declared column kind: a KInt
+// column yields an INT value when f is integral (exactly representable in
+// int64), and a FLOAT otherwise — declared kinds never cost precision, which
+// matters mid-stream where scaled counts (COUNT × m_i) are non-integral.
+// Every other declared kind yields a FLOAT.
+func Numeric(f float64, k Kind) Value {
+	if k == KInt && f == math.Trunc(f) && math.Abs(f) < 1<<62 {
+		return Int(int64(f))
+	}
+	return Float(f)
+}
+
 // Equal reports deep equality, with INT/FLOAT compared numerically.
 func (v Value) Equal(o Value) bool {
 	if v.IsNumeric() && o.IsNumeric() {

@@ -130,6 +130,9 @@ type Options struct {
 	// blocks of this many rows are randomly assigned to mini-batches (the
 	// paper's default HDFS-block randomness).
 	BlockRows int
+	// Workers bounds partition parallelism (default GOMAXPROCS). Results
+	// are bit-identical at any worker count; only wall clock changes.
+	Workers int
 }
 
 // Estimate is the bootstrap error summary of one numeric output cell.
@@ -479,6 +482,7 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 		PreShuffle: opts.PreShuffle,
 		StratifyBy: opts.StratifyBy,
 		BlockRows:  opts.BlockRows,
+		Workers:    opts.Workers,
 	})
 	if err != nil {
 		return nil, err
