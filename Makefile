@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-skew check
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,13 @@ race:
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Skew scheduling benchmark: ns/op and placement balance speedups for the
+# work-stealing vs. atomic-counter schedules on the zipf fixture, at each
+# worker count. Writes BENCH_skew.json (includes the host core count —
+# ns/op only separates the schemes when cores >= workers; the balance
+# figures are machine-independent).
+bench-skew:
+	$(GO) run ./cmd/benchskew -o BENCH_skew.json
 
 check: build vet test race

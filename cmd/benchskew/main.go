@@ -1,0 +1,147 @@
+// Command benchskew measures the scheduler on the zipf-skewed fold fixture
+// (internal/cluster.SkewWorkload) and writes BENCH_skew.json. For each
+// worker count it reports, for both the work-stealing schedule and the PR-1
+// atomic-counter shard-ownership schedule:
+//
+//   - ns/op: wall-clock per fold, median of -reps runs. Only meaningful on
+//     hosts with at least `workers` free cores; the JSON records the host's
+//     core count so readers can tell.
+//   - balance speedup: total work divided by the busiest worker's share
+//     under the schedule's placement — the machine-independent figure the
+//     wall clock converges to with enough cores (exact for the atomic
+//     schedule, a lower bound for stealing, which rebalances at runtime).
+//
+// On the default fixture the head group holds ~83% of the rows: stealing
+// reaches >=2x at 8 workers while shard ownership plateaus under 1.3x.
+//
+//	benchskew -o BENCH_skew.json
+//	benchskew -rows 65536 -groups 512 -trials 32 -reps 9
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"iolap/internal/cluster"
+)
+
+type schemeResult struct {
+	NsPerOp        int64   `json:"ns_per_op"`
+	BalanceSpeedup float64 `json:"balance_speedup"`
+}
+
+type workerResult struct {
+	Workers int          `json:"workers"`
+	Steal   schemeResult `json:"steal"`
+	Atomic  schemeResult `json:"atomic"`
+}
+
+type report struct {
+	Fixture struct {
+		Rows     int     `json:"rows"`
+		Groups   int     `json:"groups"`
+		Trials   int     `json:"trials"`
+		TopShare float64 `json:"top_share"`
+	} `json:"fixture"`
+	Cores   int            `json:"cores"`
+	Reps    int            `json:"reps"`
+	Results []workerResult `json:"results"`
+}
+
+func medianNs(reps int, fold func() float64) int64 {
+	durs := make([]time.Duration, reps)
+	sink := 0.0
+	for i := range durs {
+		start := time.Now()
+		sink = fold()
+		durs[i] = time.Since(start)
+	}
+	_ = sink
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[len(durs)/2].Nanoseconds()
+}
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 1<<15, "fixture rows")
+		groups  = flag.Int("groups", 256, "fixture groups (zipf sizes)")
+		trials  = flag.Int("trials", 64, "bootstrap trials per accumulator")
+		reps    = flag.Int("reps", 7, "timed repetitions per point (median reported)")
+		out     = flag.String("o", "BENCH_skew.json", "output path")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	)
+	flag.Parse()
+
+	wl := cluster.NewSkewWorkload(*rows, *groups, *trials)
+	var rep report
+	rep.Fixture.Rows = *rows
+	rep.Fixture.Groups = *groups
+	rep.Fixture.Trials = *trials
+	rep.Fixture.TopShare = wl.TopShare()
+	rep.Cores = runtime.NumCPU()
+	rep.Reps = *reps
+
+	var ws []int
+	for _, tok := range splitComma(*workers) {
+		var w int
+		if _, err := fmt.Sscanf(tok, "%d", &w); err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "benchskew: bad worker count %q\n", tok)
+			os.Exit(2)
+		}
+		ws = append(ws, w)
+	}
+
+	ref := wl.RunSteal(cluster.NewPool(1))
+	for _, w := range ws {
+		p := cluster.NewPool(w)
+		var r workerResult
+		r.Workers = w
+		r.Steal.NsPerOp = medianNs(*reps, func() float64 { return wl.RunSteal(p) })
+		r.Atomic.NsPerOp = medianNs(*reps, func() float64 { return wl.RunAtomic(p) })
+		r.Steal.BalanceSpeedup, r.Atomic.BalanceSpeedup = wl.BalanceSpeedup(w)
+		// Guard: the benchmark is only valid while both schedules stay
+		// bit-identical to the sequential fold.
+		if got := wl.RunSteal(p); got != ref {
+			fmt.Fprintf(os.Stderr, "benchskew: steal checksum diverged at %d workers\n", w)
+			os.Exit(1)
+		}
+		if got := wl.RunAtomic(p); got != ref {
+			fmt.Fprintf(os.Stderr, "benchskew: atomic checksum diverged at %d workers\n", w)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("workers=%d  steal %8d ns/op (balance %.2fx)  atomic %8d ns/op (balance %.2fx)\n",
+			w, r.Steal.NsPerOp, r.Steal.BalanceSpeedup, r.Atomic.NsPerOp, r.Atomic.BalanceSpeedup)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchskew:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchskew:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (cores=%d, top share %.1f%%)\n", *out, rep.Cores, rep.Fixture.TopShare*100)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -14,7 +14,6 @@ package cluster
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"iolap/internal/rel"
@@ -37,49 +36,23 @@ func NewPool(n int) *Pool {
 // Workers returns the parallelism.
 func (p *Pool) Workers() int { return p.workers }
 
-// Map runs fn(i) for i in [0, n) on the pool and blocks until all complete.
-func (p *Pool) Map(n int, fn func(i int)) {
-	if n == 0 {
-		return
-	}
-	if p.workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// chunkSplit is how many MapChunks chunks each worker gets beyond its even
+// share: extra granularity lets the work-stealing scheduler rebalance
+// chunks whose per-row cost is skewed (a probe chunk full of heavy-group
+// matches, a classify chunk of wide rows).
+const chunkSplit = 4
 
 // Chunks returns the number of contiguous chunks MapChunks would use for n
-// items: min(workers, n). It depends only on (n, workers), never on
-// scheduling, so callers can pre-allocate per-chunk outputs.
+// items: min(chunkSplit·workers, n) on a parallel pool, 1 otherwise. It
+// depends only on (n, workers), never on scheduling, so callers can
+// pre-allocate per-chunk outputs.
 func (p *Pool) Chunks(n int) int {
-	c := p.workers
+	if p.workers == 1 || n <= 1 {
+		return 1
+	}
+	c := p.workers * chunkSplit
 	if c > n {
 		c = n
-	}
-	if c < 1 {
-		c = 1
 	}
 	return c
 }
@@ -169,37 +142,58 @@ func Shuffle(r *rel.Relation, seed uint64) *rel.Relation {
 }
 
 // Metrics accumulates exchange traffic. All methods are safe for concurrent
-// use.
+// use. Alongside bytes it counts *events* (non-empty exchanges): per-op
+// averages derived from the counters (bytes per shuffle, shuffles per
+// batch) are only meaningful when zero-byte records don't inflate the
+// denominator, so empty records are dropped at the source — Record* with
+// nothing to ship is a no-op.
 type Metrics struct {
-	shuffleBytes   atomic.Int64
-	broadcastBytes atomic.Int64
-	shuffleRows    atomic.Int64
+	shuffleBytes    atomic.Int64
+	broadcastBytes  atomic.Int64
+	shuffleRows     atomic.Int64
+	shuffleEvents   atomic.Int64
+	broadcastEvents atomic.Int64
 }
 
 // RecordShuffle notes bytes that a hash repartition would ship.
 func (m *Metrics) RecordShuffle(r *rel.Relation) {
-	if m == nil {
+	if m == nil || r.Len() == 0 {
 		return
 	}
 	m.shuffleBytes.Add(int64(r.SizeBytes()))
 	m.shuffleRows.Add(int64(r.Len()))
+	m.shuffleEvents.Add(1)
 }
 
-// RecordShuffleBytes notes raw shuffle bytes.
+// RecordShuffleBytes notes raw shuffle bytes. Empty exchanges (n <= 0) are
+// not recorded: they would contribute nothing to the byte totals but skew
+// every per-event shuffle statistic.
 func (m *Metrics) RecordShuffleBytes(n int) {
-	if m == nil {
+	if m == nil || n <= 0 {
 		return
 	}
 	m.shuffleBytes.Add(int64(n))
+	m.shuffleEvents.Add(1)
 }
 
 // RecordBroadcast notes bytes that a broadcast join would replicate to every
 // worker (counted once; the per-worker fan-out is a constant factor).
 func (m *Metrics) RecordBroadcast(r *rel.Relation) {
-	if m == nil {
+	if m == nil || r.Len() == 0 {
 		return
 	}
 	m.broadcastBytes.Add(int64(r.SizeBytes()))
+	m.broadcastEvents.Add(1)
+}
+
+// RecordBroadcastBytes notes raw broadcast bytes (n <= 0 is a no-op, as for
+// RecordShuffleBytes).
+func (m *Metrics) RecordBroadcastBytes(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.broadcastBytes.Add(int64(n))
+	m.broadcastEvents.Add(1)
 }
 
 // ShuffleBytes returns total shuffled bytes.
@@ -211,6 +205,12 @@ func (m *Metrics) BroadcastBytes() int64 { return m.broadcastBytes.Load() }
 // ShuffleRows returns total shuffled physical rows.
 func (m *Metrics) ShuffleRows() int64 { return m.shuffleRows.Load() }
 
+// ShuffleEvents returns the number of non-empty shuffle exchanges recorded.
+func (m *Metrics) ShuffleEvents() int64 { return m.shuffleEvents.Load() }
+
+// BroadcastEvents returns the number of non-empty broadcasts recorded.
+func (m *Metrics) BroadcastEvents() int64 { return m.broadcastEvents.Load() }
+
 // TotalBytes returns all bytes shipped.
 func (m *Metrics) TotalBytes() int64 { return m.ShuffleBytes() + m.BroadcastBytes() }
 
@@ -219,4 +219,6 @@ func (m *Metrics) Reset() {
 	m.shuffleBytes.Store(0)
 	m.broadcastBytes.Store(0)
 	m.shuffleRows.Store(0)
+	m.shuffleEvents.Store(0)
+	m.broadcastEvents.Store(0)
 }

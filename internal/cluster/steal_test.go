@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler
+
+func TestMapRunsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			p := NewPool(workers)
+			counts := make([]atomic.Int32, n)
+			p.Map(n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMapSizedRunsEachIndexOnce(t *testing.T) {
+	hints := map[string]func(i int) int{
+		"uniform":  func(i int) int { return 1 },
+		"zero":     func(i int) int { return 0 },
+		"negative": func(i int) int { return -5 },
+		// One task dwarfs the rest: the seeding must still cover every index.
+		"skewed": func(i int) int {
+			if i == 3 {
+				return 1 << 20
+			}
+			return 1
+		},
+		"ramp": func(i int) int { return i },
+	}
+	for name, size := range hints {
+		for _, workers := range []int{1, 2, 8} {
+			for _, n := range []int{0, 1, 5, 100, 257} {
+				p := NewPool(workers)
+				counts := make([]atomic.Int32, n)
+				p.MapSized(n, size, func(i int) { counts[i].Add(1) })
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("hint=%s workers=%d n=%d: index %d ran %d times", name, workers, n, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMapAtomicRunsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		counts := make([]atomic.Int32, 500)
+		p.MapAtomic(500, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestMapPanicPropagates pins the satellite bugfix: a panic inside fn must
+// surface on the caller's goroutine — the old scheduler let it kill a worker
+// goroutine and take the process down — and the pool must remain usable.
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var recovered interface{}
+		func() {
+			defer func() { recovered = recover() }()
+			p.Map(100, func(i int) {
+				if i == 37 {
+					panic("partition 37 exploded")
+				}
+			})
+		}()
+		if recovered != "partition 37 exploded" {
+			t.Fatalf("workers=%d: recovered %v, want the partition's panic value", workers, recovered)
+		}
+		// The pool is stateless across calls: the next Map must work.
+		var ran atomic.Int32
+		p.Map(50, func(int) { ran.Add(1) })
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: pool unusable after panic: ran %d/50", workers, ran.Load())
+		}
+	}
+}
+
+// TestMapManyPanics: when several partitions panic, exactly one value is
+// re-raised and every worker still exits (no deadlock on the WaitGroup).
+func TestMapManyPanics(t *testing.T) {
+	p := NewPool(8)
+	done := make(chan interface{}, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		p.Map(64, func(i int) { panic(i) })
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map deadlocked after panics")
+	}
+}
+
+func TestDequeOwnerAndThief(t *testing.T) {
+	d := &deque{chunks: []chunk{{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	// Owner pops from the front in order.
+	c, ok := d.popFront()
+	if !ok || c != (chunk{0, 1}) {
+		t.Fatalf("popFront = %v, %v", c, ok)
+	}
+	// Thief takes the back half of what remains (3 chunks → 2 stolen).
+	stolen := d.stealBack()
+	if len(stolen) != 2 || stolen[0] != (chunk{2, 3}) || stolen[1] != (chunk{3, 4}) {
+		t.Fatalf("stealBack = %v", stolen)
+	}
+	// Owner keeps the front remainder.
+	c, ok = d.popFront()
+	if !ok || c != (chunk{1, 2}) {
+		t.Fatalf("popFront after steal = %v, %v", c, ok)
+	}
+	if _, ok := d.popFront(); ok {
+		t.Fatal("deque should be empty")
+	}
+	if s := d.stealBack(); s != nil {
+		t.Fatalf("steal from empty deque = %v", s)
+	}
+}
+
+func TestEvenChunksPartitionTheRange(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 100, 1023} {
+		for _, w := range []int{1, 2, 8} {
+			assign := evenChunks(n, w)
+			if len(assign) != w {
+				t.Fatalf("n=%d w=%d: %d workers", n, w, len(assign))
+			}
+			next := 0
+			for _, cs := range assign {
+				for _, c := range cs {
+					if c.lo != next || c.hi <= c.lo {
+						t.Fatalf("n=%d w=%d: chunk %v not contiguous at %d", n, w, c, next)
+					}
+					next = c.hi
+				}
+			}
+			if next != n {
+				t.Fatalf("n=%d w=%d: chunks cover [0,%d), want [0,%d)", n, w, next, n)
+			}
+		}
+	}
+}
+
+func TestChunksIsPureAndBounded(t *testing.T) {
+	p := NewPool(4)
+	if got := p.Chunks(1000); got != 16 {
+		t.Errorf("Chunks(1000) = %d, want workers*chunkSplit = 16", got)
+	}
+	if got := p.Chunks(5); got != 5 {
+		t.Errorf("Chunks(5) = %d, want n when n < workers*chunkSplit", got)
+	}
+	if got := NewPool(1).Chunks(1000); got != 1 {
+		t.Errorf("sequential pool Chunks = %d, want 1", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive cutover model
+
+func TestCostModelFixedPinsEveryClass(t *testing.T) {
+	m := NewCostModel(7)
+	for c := OpClass(0); c < numOpClasses; c++ {
+		if got := m.Threshold(c); got != 7 {
+			t.Errorf("class %s: fixed threshold = %d, want 7", c, got)
+		}
+	}
+	// Observations are ignored while pinned.
+	m.Observe(CostFold, 1000, time.Second, 1)
+	if got := m.Threshold(CostFold); got != 7 {
+		t.Errorf("fixed threshold drifted to %d after Observe", got)
+	}
+}
+
+func TestCostModelAdaptsFromObservations(t *testing.T) {
+	m := NewCostModel(0)
+	before := m.Threshold(CostSelect)
+	// Feed consistently expensive rows: 10µs per row should drive the
+	// cutover down to the minimum clamp.
+	for i := 0; i < 100; i++ {
+		m.Observe(CostSelect, 1000, 10*time.Millisecond, 1)
+	}
+	after := m.Threshold(CostSelect)
+	if after >= before {
+		t.Fatalf("threshold did not drop: %d -> %d", before, after)
+	}
+	if after != minCutover {
+		t.Fatalf("expensive rows should clamp to minCutover %d, got %d", minCutover, after)
+	}
+	// Feed near-free rows: the cutover must rise and clamp at the maximum.
+	for i := 0; i < 200; i++ {
+		m.Observe(CostSelect, 1_000_000, time.Microsecond, 1)
+	}
+	if got := m.Threshold(CostSelect); got != maxCutover {
+		t.Fatalf("free rows should clamp to maxCutover %d, got %d", maxCutover, got)
+	}
+}
+
+func TestCostModelScalesParallelObservations(t *testing.T) {
+	seq, par := NewCostModel(0), NewCostModel(0)
+	// The same wall clock at workers=8 represents ~8x the single-threaded
+	// work, so the parallel observation must infer a higher per-row cost.
+	seq.Observe(CostFold, 1000, time.Millisecond, 1)
+	par.Observe(CostFold, 1000, time.Millisecond, 8)
+	if par.PerRowNs(CostFold) <= seq.PerRowNs(CostFold) {
+		t.Fatalf("parallel observation (%v ns/row) should exceed sequential (%v ns/row)",
+			par.PerRowNs(CostFold), seq.PerRowNs(CostFold))
+	}
+}
+
+func TestCostModelIgnoresDegenerateObservations(t *testing.T) {
+	m := NewCostModel(0)
+	before := m.PerRowNs(CostScan)
+	m.Observe(CostScan, 0, time.Second, 1)  // zero rows
+	m.Observe(CostScan, 100, 0, 1)          // zero duration (clock granularity)
+	m.Observe(CostScan, -5, time.Second, 1) // negative rows
+	if m.PerRowNs(CostScan) != before {
+		t.Fatal("degenerate observations moved the EWMA")
+	}
+}
+
+func TestCostModelNilSafe(t *testing.T) {
+	var m *CostModel
+	if got := m.Threshold(CostFold); got <= 0 {
+		t.Fatalf("nil model threshold = %d", got)
+	}
+	m.Observe(CostFold, 10, time.Second, 1) // must not panic
+	if m.PerRowNs(CostFold) != 0 {
+		t.Fatal("nil model per-row cost should read 0")
+	}
+}
+
+func TestCostModelTimedFeedsEWMA(t *testing.T) {
+	m := NewCostModel(0)
+	before := m.PerRowNs(CostSink)
+	d := m.Timed(CostSink, 100, 1, func() { time.Sleep(2 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Fatalf("Timed returned %v for a 2ms body", d)
+	}
+	if m.PerRowNs(CostSink) == before {
+		t.Fatal("Timed did not feed the EWMA")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Exchange accounting regression (satellite: zero-byte events)
+
+// TestMetricsDropEmptyExchanges pins the accounting bugfix: recording an
+// empty relation or zero/negative byte count must change neither the byte
+// totals nor the event counters, so per-event statistics (bytes per shuffle)
+// cannot be skewed by phantom exchanges.
+func TestMetricsDropEmptyExchanges(t *testing.T) {
+	var m Metrics
+	empty := intRel(0)
+	m.RecordShuffle(empty)
+	m.RecordBroadcast(empty)
+	m.RecordShuffleBytes(0)
+	m.RecordShuffleBytes(-10)
+	m.RecordBroadcastBytes(0)
+	m.RecordBroadcastBytes(-1)
+	if m.TotalBytes() != 0 {
+		t.Errorf("empty exchanges contributed %d bytes", m.TotalBytes())
+	}
+	if m.ShuffleEvents() != 0 || m.BroadcastEvents() != 0 {
+		t.Errorf("empty exchanges counted as events: %d shuffles, %d broadcasts",
+			m.ShuffleEvents(), m.BroadcastEvents())
+	}
+
+	// Real traffic books bytes and events on the right counters.
+	r := intRel(10)
+	m.RecordShuffle(r)
+	m.RecordShuffleBytes(100)
+	m.RecordBroadcast(r)
+	m.RecordBroadcastBytes(7)
+	if got, want := m.ShuffleEvents(), int64(2); got != want {
+		t.Errorf("shuffle events = %d, want %d", got, want)
+	}
+	if got, want := m.BroadcastEvents(), int64(2); got != want {
+		t.Errorf("broadcast events = %d, want %d", got, want)
+	}
+	wantTotal := 2*int64(r.SizeBytes()) + 100 + 7
+	if m.TotalBytes() != wantTotal {
+		t.Errorf("TotalBytes = %d, want %d", m.TotalBytes(), wantTotal)
+	}
+	m.Reset()
+	if m.ShuffleEvents() != 0 || m.BroadcastEvents() != 0 || m.TotalBytes() != 0 {
+		t.Error("Reset left event counters behind")
+	}
+}

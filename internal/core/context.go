@@ -103,6 +103,14 @@ type Options struct {
 	// stratified-sampling extension the paper leaves as future work
 	// (Section 9).
 	StratifyBy string
+	// ParThreshold, when positive, pins the sequential/parallel cutover to
+	// a fixed row count for every operator class. The default (0) is
+	// adaptive: the engine learns an EWMA of measured per-row cost per
+	// operator class and derives the cutover from it (cluster.CostModel).
+	// Either way the cutover affects scheduling only, never results — the
+	// equivalence suites pin it to 1 to force every parallel path onto
+	// small fixtures.
+	ParThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -176,29 +184,42 @@ type batchContext struct {
 	recomputed int // tuples recomputed this batch (Fig 8(e,f))
 	failures   []failure
 	pool       *cluster.Pool
+	// cost is the engine's adaptive cutover model (engine state shared by
+	// every batch, so the EWMA keeps learning across the run). The old
+	// design — a mutable package-level parThreshold the tests overwrote —
+	// was a data race under `go test -race -parallel`.
+	cost *cluster.CostModel
 }
 
-// parThreshold is the row-count floor below which operators stay sequential:
-// fanning a handful of rows across goroutines costs more than it saves. A
-// package variable (not a const) so the equivalence tests can force the
-// parallel paths onto small fixtures.
-var parThreshold = 512
-
-// fanout reports whether a site processing n rows should use the worker
-// pool. Every parallel path it gates is bit-identical to its sequential
-// fallback (deterministic shard → ordered merge), so the answer affects only
-// scheduling, never results.
-func (bc *batchContext) fanout(n int) bool {
-	return bc.pool != nil && bc.pool.Workers() > 1 && n >= parThreshold
+// fanout reports whether a site of the given operator class processing n
+// rows should use the worker pool. Every parallel path it gates is
+// bit-identical to its sequential fallback (deterministic shard → ordered
+// merge), so the answer affects only scheduling, never results — which is
+// what makes a wall-clock-adaptive cutover safe.
+func (bc *batchContext) fanout(c cluster.OpClass, n int) bool {
+	return bc.pool != nil && bc.pool.Workers() > 1 && n >= bc.cost.Threshold(c)
 }
 
 // par returns the pool when a site with n rows should fan out, nil otherwise
 // (for callees that take an optional pool, like delta.HashStore.AddBatch).
-func (bc *batchContext) par(n int) *cluster.Pool {
-	if bc.fanout(n) {
+func (bc *batchContext) par(c cluster.OpClass, n int) *cluster.Pool {
+	if bc.fanout(c, n) {
 		return bc.pool
 	}
 	return nil
+}
+
+// mapChunks runs fill over [0, n) — chunk-parallel when the class cutover
+// says the batch is worth fanning out — and feeds the measured per-row cost
+// back into the engine's model.
+func (bc *batchContext) mapChunks(c cluster.OpClass, n int, fill func(lo, hi int)) {
+	if bc.fanout(c, n) {
+		bc.cost.Timed(c, n, bc.pool.Workers(), func() {
+			bc.pool.MapChunks(n, func(_, lo, hi int) { fill(lo, hi) })
+		})
+	} else {
+		bc.cost.Timed(c, n, 1, func() { fill(0, n) })
+	}
 }
 
 // failure records one variation-range integrity violation (Section 5.1).

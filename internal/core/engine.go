@@ -34,8 +34,14 @@ type Update struct {
 	// JoinStateBytes / OtherStateBytes split operator state memory as in
 	// Figure 9(b).
 	JoinStateBytes, OtherStateBytes int
-	// ShuffleBytes is the data shipped this batch (Fig 9(c)).
+	// ShuffleBytes is the repartition traffic this batch: bytes a hash
+	// shuffle would ship between workers.
 	ShuffleBytes int64
+	// BroadcastBytes is the replication traffic this batch: bytes shipped
+	// once to every worker (published aggregate tables, scalar join sides).
+	// ShuffleBytes + BroadcastBytes is the "data shipped at query time"
+	// metric of Fig 9(c).
+	BroadcastBytes int64
 	// Recoveries counts failure-recovery events triggered this batch
 	// (variation-range integrity violations, Section 5.1).
 	Recoveries int
@@ -79,6 +85,10 @@ type Engine struct {
 	needSnapshots bool
 	metrics       cluster.Metrics
 	pool          *cluster.Pool
+	// cost is the engine's adaptive parallel-cutover model; it lives on the
+	// engine (not the batch context, not the package) so the per-class EWMA
+	// keeps learning across batches and concurrent engines cannot race.
+	cost *cluster.CostModel
 
 	totalRecoveries int
 	lastBC          *batchContext
@@ -160,6 +170,7 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 		deltas:        deltas,
 		totalRows:     src.Len(),
 		pool:          cluster.NewPool(opts.Workers),
+		cost:          cluster.NewCostModel(opts.ParThreshold),
 	}
 	e.needSnapshots = comp.nested && opts.Mode != ModeHDA && opts.Trials > 0
 	e.base = e.takeSnapshot(0)
@@ -223,6 +234,7 @@ func (e *Engine) newBatchContext(deltaRows *rel.Relation, seenAfter int) *batchC
 		hdaAgg:  e.opts.Mode == ModeHDA,
 		metrics: &e.metrics,
 		pool:    e.pool,
+		cost:    e.cost,
 	}
 }
 
@@ -246,6 +258,7 @@ func (e *Engine) Step() (*Update, error) {
 	}
 	start := time.Now()
 	shuffleBefore := e.metrics.ShuffleBytes()
+	broadcastBefore := e.metrics.BroadcastBytes()
 	// Snapshot the pre-batch state for recovery. Queries that track no
 	// variation ranges can never fail an integrity check, so they skip
 	// the snapshot cost entirely.
@@ -328,7 +341,8 @@ func (e *Engine) Step() (*Update, error) {
 		Duration:      time.Since(start),
 		Recomputed:    bc.recomputed,
 		NDSetRows:     e.ndSetRows(),
-		ShuffleBytes:  e.metrics.ShuffleBytes() - shuffleBefore,
+		ShuffleBytes:   e.metrics.ShuffleBytes() - shuffleBefore,
+		BroadcastBytes: e.metrics.BroadcastBytes() - broadcastBefore,
 		Recoveries:    recoveries,
 		RecoveredFrom: recoveredFrom,
 	}
@@ -365,8 +379,12 @@ func (e *Engine) Run() ([]*Update, error) {
 	return out, nil
 }
 
-// TotalShuffleBytes returns cumulative exchange traffic.
+// TotalShuffleBytes returns cumulative repartition traffic.
 func (e *Engine) TotalShuffleBytes() int64 { return e.metrics.ShuffleBytes() }
+
+// TotalExchangeBytes returns cumulative exchange traffic of both kinds
+// (shuffle + broadcast) — the Fig 9(c)/10(d) "data shipped" total.
+func (e *Engine) TotalExchangeBytes() int64 { return e.metrics.TotalBytes() }
 
 // OpStat is one operator's per-batch runtime statistics (EXPLAIN
 // ANALYZE-style observability).

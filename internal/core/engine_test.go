@@ -451,8 +451,17 @@ func TestUpdateMetadata(t *testing.T) {
 	if u1.Fraction <= 0 || u1.Fraction > 0.3 {
 		t.Errorf("fraction = %v", u1.Fraction)
 	}
-	if u1.ShuffleBytes <= 0 {
-		t.Error("shuffle accounting missing")
+	// SBI's only exchanges are broadcasts: the scalar subquery side of the
+	// cross join and the published aggregate tables replicate to every
+	// worker; nothing repartitions by key, so shuffle bytes stay zero.
+	if u1.BroadcastBytes <= 0 {
+		t.Error("broadcast accounting missing")
+	}
+	if u1.ShuffleBytes != 0 {
+		t.Errorf("scalar-subquery SBI should shuffle nothing, got %d bytes", u1.ShuffleBytes)
+	}
+	if got := eng.TotalExchangeBytes(); got != u1.ShuffleBytes+u1.BroadcastBytes {
+		t.Errorf("TotalExchangeBytes = %d, want %d", got, u1.ShuffleBytes+u1.BroadcastBytes)
 	}
 	if u1.Duration <= 0 {
 		t.Error("duration missing")

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"iolap/internal/bootstrap"
@@ -16,8 +17,9 @@ import (
 // suite enforces the promise by running each query shape with Workers=1 and
 // Workers=8 and comparing every Update exactly — relations in physical order
 // (kinds, payloads, multiplicities), every bootstrap estimate field, and every
-// accounting metric. parThreshold drops to 1 so the small fixtures exercise
-// the parallel paths that production only enters on large batches.
+// accounting metric. Options.ParThreshold pins the cutover to 1 so the small
+// fixtures exercise the parallel paths that production only enters on large
+// batches.
 
 // sameF is float equality that treats NaN as equal to itself: a replicate can
 // legitimately produce NaN (e.g. AVG over an empty replicate), and the
@@ -68,6 +70,9 @@ func assertUpdatesIdentical(t *testing.T, seq, par []*Update) {
 		if a.ShuffleBytes != b.ShuffleBytes {
 			t.Errorf("batch %d: ShuffleBytes %d vs %d", a.Batch, a.ShuffleBytes, b.ShuffleBytes)
 		}
+		if a.BroadcastBytes != b.BroadcastBytes {
+			t.Errorf("batch %d: BroadcastBytes %d vs %d", a.Batch, a.BroadcastBytes, b.BroadcastBytes)
+		}
 		if a.Recoveries != b.Recoveries || a.RecoveredFrom != b.RecoveredFrom {
 			t.Errorf("batch %d: recovery (%d from %d) vs (%d from %d)", a.Batch,
 				a.Recoveries, a.RecoveredFrom, b.Recoveries, b.RecoveredFrom)
@@ -117,9 +122,26 @@ func sortSessionsByBufferTime(db *exec.DB) {
 	})
 }
 
-func runEngineUpdates(t *testing.T, query string, n int, dbSeed int64, opts Options, sorted bool) ([]*Update, *Engine) {
+// skewSessions rewrites the sessions table so one group dominates: ~90% of
+// rows land on cdn "east". This is the fixture shape where hash-sharded group
+// ownership degenerates to single-worker execution — the scheduling bug the
+// heavy/light fold split fixes — and the equivalence suite must hold on it
+// like on any other distribution.
+func skewSessions(db *exec.DB) {
+	src, _ := db.Get("sessions")
+	for i := range src.Tuples {
+		if i%10 != 0 {
+			src.Tuples[i].Vals[3] = rel.String("east")
+		}
+	}
+}
+
+func runEngineUpdates(t *testing.T, query string, n int, dbSeed int64, opts Options, sorted, skewed bool) ([]*Update, *Engine) {
 	t.Helper()
 	db := testDB(n, dbSeed)
+	if skewed {
+		skewSessions(db)
+	}
 	if sorted {
 		sortSessionsByBufferTime(db)
 	}
@@ -146,9 +168,6 @@ func theoremQuery(t *testing.T, name string) string {
 }
 
 func TestWorkerEquivalenceDeltaPipeline(t *testing.T) {
-	defer func(old int) { parThreshold = old }(parThreshold)
-	parThreshold = 1
-
 	cases := []struct {
 		name   string
 		query  string
@@ -156,50 +175,82 @@ func TestWorkerEquivalenceDeltaPipeline(t *testing.T) {
 		dbSeed int64
 		opts   Options
 		sorted bool
+		skewed bool
 	}{
 		{"flat_group_by/iolap", theoremQuery(t, "flat_group_by"), 240, 11,
-			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"join_dim_group/iolap", theoremQuery(t, "join_dim_group"), 240, 11,
-			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"union_all/iolap", theoremQuery(t, "union_all"), 240, 11,
-			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"case_expression/iolap", theoremQuery(t, "case_expression"), 240, 11,
-			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"nested_correlated/iolap", theoremQuery(t, "nested_correlated"), 240, 11,
-			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"sbi/iolap", sbiQuery, 240, 11,
-			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"sbi/opt1", sbiQuery, 240, 11,
-			Options{Mode: ModeOPT1, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeOPT1, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		{"sbi/hda", sbiQuery, 240, 11,
-			Options{Mode: ModeHDA, Batches: 6, Trials: 25, Seed: 3}, false},
+			Options{Mode: ModeHDA, Batches: 6, Trials: 25, Seed: 3}, false, false},
 		// Adversarial arrival order + tight slack: recovery (snapshot
 		// restore + merged-delta replay) must also be worker-invariant.
 		{"sbi/recovery", sbiQuery, 200, 7,
-			Options{Mode: ModeIOLAP, Batches: 10, Trials: 20, Slack: 0, Seed: 4}, true},
+			Options{Mode: ModeIOLAP, Batches: 10, Trials: 20, Slack: 0, Seed: 4}, true, false},
+		// One group holds ~90% of the rows: the heavy-group replicate-split
+		// and size-hinted light-group scheduling must stay bit-identical to
+		// the sequential fold under extreme skew.
+		{"skewed_group/iolap", theoremQuery(t, "flat_group_by"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, true},
+		{"skewed_group/join", theoremQuery(t, "join_dim_group"), 240, 11,
+			Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3}, false, true},
+		// Skew + adversarial order + zero slack: the failure-recovery path
+		// (snapshot restore, merged-delta replay) over a skewed fold.
+		{"skewed_group/recovery", sbiQuery, 200, 7,
+			Options{Mode: ModeIOLAP, Batches: 10, Trials: 20, Slack: 0, Seed: 4}, true, true},
 	}
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			seqOpts, parOpts := c.opts, c.opts
-			seqOpts.Workers = 1
-			parOpts.Workers = 8
-			seq, seqEng := runEngineUpdates(t, c.query, c.n, c.dbSeed, seqOpts, c.sorted)
-			par, parEng := runEngineUpdates(t, c.query, c.n, c.dbSeed, parOpts, c.sorted)
+			seqOpts.Workers, seqOpts.ParThreshold = 1, 1
+			parOpts.Workers, parOpts.ParThreshold = 8, 1
+			seq, seqEng := runEngineUpdates(t, c.query, c.n, c.dbSeed, seqOpts, c.sorted, c.skewed)
+			par, parEng := runEngineUpdates(t, c.query, c.n, c.dbSeed, parOpts, c.sorted, c.skewed)
 			assertUpdatesIdentical(t, seq, par)
 			if seqEng.TotalRecoveries() != parEng.TotalRecoveries() {
 				t.Errorf("TotalRecoveries: %d vs %d", seqEng.TotalRecoveries(), parEng.TotalRecoveries())
 			}
-			if c.name == "sbi/recovery" && seqEng.TotalRecoveries() == 0 {
+			if strings.HasSuffix(c.name, "recovery") && seqEng.TotalRecoveries() == 0 {
 				t.Fatalf("recovery fixture no longer triggers recoveries; the case tests nothing")
 			}
 		})
 	}
 }
 
-// TestWorkerEquivalenceAboveThreshold repeats one shape at the production
-// parThreshold with batches large enough to cross it, so the gate itself
-// (fanout on, threshold not artificially lowered) is covered too.
+// TestWorkerEquivalenceIntermediateWorkers sweeps the skewed fixture across
+// worker counts: the deterministic-scheduling promise is per-count, not just
+// at the 1-vs-8 extremes (a chunk-boundary bug could hide at w=2).
+func TestWorkerEquivalenceIntermediateWorkers(t *testing.T) {
+	query := theoremQuery(t, "flat_group_by")
+	opts := Options{Mode: ModeIOLAP, Batches: 6, Trials: 25, Seed: 3, ParThreshold: 1, Workers: 1}
+	ref, _ := runEngineUpdates(t, query, 240, 11, opts, false, true)
+	for _, w := range []int{2, 8} {
+		w := w
+		t.Run(itoa(w)+"_workers", func(t *testing.T) {
+			o := opts
+			o.Workers = w
+			got, _ := runEngineUpdates(t, query, 240, 11, o, false, true)
+			assertUpdatesIdentical(t, ref, got)
+		})
+	}
+}
+
+// TestWorkerEquivalenceAboveThreshold repeats one shape with the adaptive
+// cutover (ParThreshold 0) and batches large enough to cross it, so the gate
+// itself — EWMA-derived thresholds deciding mid-run which sites fan out —
+// is covered too. The adaptive gate's timing-dependent choices must be
+// invisible in the output because every gated path is bit-identical.
 func TestWorkerEquivalenceAboveThreshold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large fixture")
@@ -209,8 +260,8 @@ func TestWorkerEquivalenceAboveThreshold(t *testing.T) {
 	seqOpts, parOpts := opts, opts
 	seqOpts.Workers = 1
 	parOpts.Workers = 8
-	// 4 batches × ~1600 rows each ≫ parThreshold (512).
-	seq, _ := runEngineUpdates(t, query, 6400, 21, seqOpts, false)
-	par, _ := runEngineUpdates(t, query, 6400, 21, parOpts, false)
+	// 4 batches × ~1600 rows each ≫ every cold-start cutover.
+	seq, _ := runEngineUpdates(t, query, 6400, 21, seqOpts, false, false)
+	par, _ := runEngineUpdates(t, query, 6400, 21, parOpts, false, false)
 	assertUpdatesIdentical(t, seq, par)
 }

@@ -5,6 +5,7 @@ import (
 
 	"iolap/internal/agg"
 	"iolap/internal/bootstrap"
+	"iolap/internal/cluster"
 	"iolap/internal/delta"
 	"iolap/internal/expr"
 	"iolap/internal/plan"
@@ -128,17 +129,6 @@ func newOpAgg(t *plan.Aggregate, child operator, an *plan.Analysis, scaleExp int
 	return op
 }
 
-// fnvShard hashes a group key onto one of w worker shards, so each group's
-// sketch is mutated by exactly one worker during the parallel fold.
-func fnvShard(key string, w int) uint64 {
-	var h uint64 = 0xcbf29ce484222325
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 0x100000001b3
-	}
-	return h % uint64(w)
-}
-
 // anyUncertainOut reports whether any aggregate column is uncertain.
 func (o *opAgg) anyUncertainOut() bool {
 	for i := range o.specs {
@@ -238,8 +228,17 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	// Phase A: fold new certain rows. Group creation and bookkeeping are
 	// sequential (deterministic group order); the sketch folding — the
 	// expensive part, O(rows x trials) accumulator adds — runs
-	// partition-parallel with groups sharded across workers, the
-	// pre-aggregation pattern a distributed deployment uses.
+	// partition-parallel. Groups are split by batch share:
+	//
+	//   - A *heavy* group (rows·workers > batch rows, i.e. more rows than an
+	//     even per-worker share) cannot be balanced by placement — under the
+	//     old hash-sharded ownership one worker inherited nearly the whole
+	//     batch on skewed keys. Its sketch folds via FoldPar, which splits
+	//     the replicate dimension across workers; each accumulator still
+	//     receives its adds in row order, so the result is bit-identical.
+	//   - *Light* groups become one task each, scheduled over the
+	//     work-stealing pool with their row counts as size hints, so many
+	//     small groups pack evenly no matter how the keys hash.
 	foldRow := func(g *aggGroup, r delta.Row) {
 		for si := range o.specs {
 			sp := &o.specs[si]
@@ -253,10 +252,9 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			g.sketch[si].Add(val, r.Mult, r.W)
 		}
 	}
-	if bc.fanout(len(in.news)) && o.trials > 0 {
-		grps := make([]*aggGroup, len(in.news))
-		shard := make([]int, len(in.news))
+	if bc.fanout(cluster.CostFold, len(in.news)) && o.trials > 0 {
 		w := bc.pool.Workers()
+		total := len(in.news)
 		var batchGroups []*aggGroup
 		groupRows := make(map[*aggGroup][]int32)
 		for i, r := range in.news {
@@ -267,20 +265,22 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			if o.hasLazy {
 				g.lazy.Add(r.Clone())
 			}
-			grps[i] = g
-			shard[i] = int(fnvShard(key, w))
 			if _, ok := groupRows[g]; !ok {
 				batchGroups = append(batchGroups, g)
 			}
 			groupRows[g] = append(groupRows[g], int32(i))
 		}
-		if len(batchGroups)*2 <= w {
-			// Few groups (a global aggregate being the extreme): sharding
-			// groups across workers would idle most of the pool, so split
-			// the replicate dimension instead. Each accumulator still
-			// receives the same adds in row order — bit-identical.
+		var heavy, light []*aggGroup
+		for _, g := range batchGroups {
+			if len(groupRows[g])*w > total {
+				heavy = append(heavy, g)
+			} else {
+				light = append(light, g)
+			}
+		}
+		bc.cost.Timed(cluster.CostFold, total, w, func() {
 			var samples []agg.Sample
-			for _, g := range batchGroups {
+			for _, g := range heavy {
 				for si := range o.specs {
 					sp := &o.specs[si]
 					if sp.argUncertain {
@@ -298,28 +298,36 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 					g.sketch[si].FoldPar(samples, bc.pool.Map, w)
 				}
 			}
-		} else {
-			// Many groups: shard them across workers so each sketch is
-			// mutated by exactly one worker, in row order — the
-			// pre-aggregation pattern a distributed deployment uses.
-			bc.pool.Map(w, func(worker int) {
-				for i := range grps {
-					if shard[i] == worker {
-						foldRow(grps[i], in.news[i])
-					}
-				}
-			})
-		}
-	} else {
-		for _, r := range in.news {
-			key := rel.EncodeKey(r.Vals, o.node.GroupBy)
-			g := o.getGroup(r.Vals, key)
-			g.certain = true
-			g.support++
-			if o.hasLazy {
-				g.lazy.Add(r.Clone())
+			if len(light) > 0 {
+				bc.pool.MapSized(len(light),
+					func(gi int) int { return len(groupRows[light[gi]]) },
+					func(gi int) {
+						g := light[gi]
+						for _, i := range groupRows[g] {
+							foldRow(g, in.news[i])
+						}
+					})
 			}
-			foldRow(g, r)
+		})
+	} else {
+		seqFold := func() {
+			for _, r := range in.news {
+				key := rel.EncodeKey(r.Vals, o.node.GroupBy)
+				g := o.getGroup(r.Vals, key)
+				g.certain = true
+				g.support++
+				if o.hasLazy {
+					g.lazy.Add(r.Clone())
+				}
+				foldRow(g, r)
+			}
+		}
+		if o.trials > 0 {
+			bc.cost.Timed(cluster.CostFold, len(in.news), 1, seqFold)
+		} else {
+			// Trial-free folds cost ~1/(1+B) of a bootstrap fold per row;
+			// feeding them into the fold EWMA would poison the cutover.
+			seqFold()
 		}
 	}
 	// Phase B: per-batch scratch contributions — lineage rows (lazy
@@ -389,7 +397,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	applies := func(wr *scratchRow, si int) bool {
 		return wr.pend || o.specs[si].argUncertain
 	}
-	if !bc.fanout(len(work)) || o.trials == 0 {
+	if !bc.fanout(cluster.CostFold, len(work)) || o.trials == 0 {
 		for wi := range work {
 			wr := &work[wi]
 			if !wr.pend && !bc.lazy {
@@ -457,10 +465,12 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 				evals[wi] = cells
 			}
 		})
-		// 3. Gather per-vector sample lists in work order and fold: one
-		//    worker per vector when there are many, replicate-split when
-		//    few. Either way every vector folds its samples in the exact
-		//    order the sequential loop would.
+		// 3. Gather per-vector sample lists in work order and fold. Vectors
+		//    split heavy/light exactly like Phase A: a vector holding more
+		//    than an even per-worker share of the samples replicate-splits
+		//    (FoldPar); the rest are size-hinted tasks for the stealing
+		//    scheduler. Either way every vector folds its samples in the
+		//    exact order the sequential loop would.
 		type scratchItem struct {
 			vec     *agg.Vector
 			samples []agg.Sample
@@ -485,14 +495,25 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			}
 		}
 		w := bc.pool.Workers()
-		if len(items)*2 <= w {
-			for _, it := range items {
-				it.vec.FoldPar(it.samples, bc.pool.Map, w)
+		totalSamples := 0
+		for _, it := range items {
+			totalSamples += len(it.samples)
+		}
+		var heavyIt, lightIt []*scratchItem
+		for _, it := range items {
+			if len(it.samples)*w > totalSamples {
+				heavyIt = append(heavyIt, it)
+			} else {
+				lightIt = append(lightIt, it)
 			}
-		} else {
-			bc.pool.Map(len(items), func(i int) {
-				items[i].vec.Fold(items[i].samples)
-			})
+		}
+		for _, it := range heavyIt {
+			it.vec.FoldPar(it.samples, bc.pool.Map, w)
+		}
+		if len(lightIt) > 0 {
+			bc.pool.MapSized(len(lightIt),
+				func(i int) int { return len(lightIt[i].samples) },
+				func(i int) { lightIt[i].vec.Fold(lightIt[i].samples) })
 		}
 	}
 	// Phase C: read results, observe variation ranges, publish the output
@@ -575,7 +596,8 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	o.record(out)
 	bc.publish(o.node.ID(), table)
 	// The published table is broadcast to workers for lazy evaluation
-	// (Section 6.2's broadcast join).
+	// (Section 6.2's broadcast join) — replication traffic, not a
+	// repartition, so it books as broadcast bytes.
 	if bc.metrics != nil {
 		n := 0
 		for _, pub := range table.byKey {
@@ -584,7 +606,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 				n += 16 + 8*len(uv.Reps)
 			}
 		}
-		bc.metrics.RecordShuffleBytes(n)
+		bc.metrics.RecordBroadcastBytes(n)
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"iolap/internal/bootstrap"
+	"iolap/internal/cluster"
 	"iolap/internal/delta"
 	"iolap/internal/expr"
 	"iolap/internal/plan"
@@ -106,8 +107,14 @@ func (o *opScan) step(bc *batchContext) (output, error) {
 		}
 		// Weight derivation is per-tuple-index deterministic, so the
 		// partition-parallel path is bit-identical to the sequential one.
-		if o.poisson != nil && bc.fanout(d.Len()) {
-			bc.pool.Map(d.Len(), fill)
+		// Only weighted scans feed the scan EWMA: the unweighted fill is a
+		// different (much cheaper) operation and would drag the estimate.
+		if o.poisson != nil {
+			bc.mapChunks(cluster.CostScan, d.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fill(i)
+				}
+			})
 		} else {
 			for i := range rows {
 				fill(i)
@@ -196,11 +203,7 @@ func (o *opSelect) classifyAll(rows []delta.Row, bc *batchContext, regen bool) [
 			vs[i] = v
 		}
 	}
-	if bc.fanout(len(rows)) {
-		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { fill(lo, hi) })
-	} else {
-		fill(0, len(rows))
-	}
+	bc.mapChunks(cluster.CostSelect, len(rows), fill)
 	return vs
 }
 
@@ -213,11 +216,7 @@ func (o *opSelect) filterAll(rows []delta.Row, bc *batchContext) []bool {
 			pass[i] = evalTrue(o.node.Pred, rows[i], bc)
 		}
 	}
-	if bc.fanout(len(rows)) {
-		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { fill(lo, hi) })
-	} else {
-		fill(0, len(rows))
-	}
+	bc.mapChunks(cluster.CostSelect, len(rows), fill)
 	return pass
 }
 
@@ -350,11 +349,7 @@ func (o *opProject) apply(rows []delta.Row, bc *batchContext) []delta.Row {
 			out[ri] = delta.Row{Vals: vals, Mult: r.Mult, W: r.W}
 		}
 	}
-	if bc.fanout(len(rows)) {
-		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { fill(lo, hi) })
-	} else {
-		fill(0, len(rows))
-	}
+	bc.mapChunks(cluster.CostProject, len(rows), fill)
 	return out
 }
 
@@ -454,24 +449,28 @@ func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, 
 		}
 		return o.joinRows(m, p)
 	}
-	if !bc.fanout(len(probe)) {
-		for _, p := range probe {
-			for _, m := range store.Probe(p.Vals, probeKeys) {
-				dst = append(dst, join(p, m))
+	if !bc.fanout(cluster.CostJoinProbe, len(probe)) {
+		bc.cost.Timed(cluster.CostJoinProbe, len(probe), 1, func() {
+			for _, p := range probe {
+				for _, m := range store.Probe(p.Vals, probeKeys) {
+					dst = append(dst, join(p, m))
+				}
 			}
-		}
+		})
 		return dst
 	}
 	outs := make([][]delta.Row, bc.pool.Chunks(len(probe)))
-	bc.pool.MapChunks(len(probe), func(c, lo, hi int) {
-		var buf []delta.Row
-		for i := lo; i < hi; i++ {
-			p := probe[i]
-			for _, m := range store.Probe(p.Vals, probeKeys) {
-				buf = append(buf, join(p, m))
+	bc.cost.Timed(cluster.CostJoinProbe, len(probe), bc.pool.Workers(), func() {
+		bc.pool.MapChunks(len(probe), func(c, lo, hi int) {
+			var buf []delta.Row
+			for i := lo; i < hi; i++ {
+				p := probe[i]
+				for _, m := range store.Probe(p.Vals, probeKeys) {
+					buf = append(buf, join(p, m))
+				}
 			}
-		}
-		outs[c] = buf
+			outs[c] = buf
+		})
 	})
 	for _, b := range outs {
 		dst = append(dst, b...)
@@ -508,10 +507,13 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 			m += r.SizeBytes()
 		}
 		if len(lKeys) == 0 {
-			bc.metrics.RecordShuffleBytes(0)
-			if m > 0 {
-				bc.metrics.RecordShuffleBytes(m) // broadcast of the scalar side
-			}
+			// Cross join: nothing repartitions. The scalar side is
+			// replicated to every worker, which is broadcast traffic, not
+			// shuffle — booking it as a shuffle (the old code even recorded
+			// a phantom zero-byte shuffle alongside it) skewed every
+			// per-event shuffle statistic. Empty sides are dropped by
+			// RecordBroadcastBytes itself.
+			bc.metrics.RecordBroadcastBytes(m)
 		} else {
 			bc.metrics.RecordShuffleBytes(n + m)
 		}
@@ -527,16 +529,16 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 	}
 	if len(lo.news) > 0 && len(ro.news) > 0 {
 		newR := delta.NewHashStore(rKeys)
-		newR.AddBatch(ro.news, false, bc.par(len(ro.news)))
+		newR.AddBatch(ro.news, false, bc.par(cluster.CostJoinBuild, len(ro.news)))
 		out.news = o.probeInto(out.news, lo.news, lKeys, newR, true, bc)
 	}
 	// Fold this batch's certain rows into the stores (rows are cloned: store
 	// contents are immutable once added).
 	if o.lStore != nil {
-		o.lStore.AddBatch(lo.news, true, bc.par(len(lo.news)))
+		o.lStore.AddBatch(lo.news, true, bc.par(cluster.CostJoinBuild, len(lo.news)))
 	}
 	if o.rStore != nil {
-		o.rStore.AddBatch(ro.news, true, bc.par(len(ro.news)))
+		o.rStore.AddBatch(ro.news, true, bc.par(cluster.CostJoinBuild, len(ro.news)))
 	}
 	// Tuple-uncertain combinations, recomputed every batch:
 	// U_L ⋈ C_R, C_L ⋈ U_R, U_L ⋈ U_R.
@@ -554,7 +556,7 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 	}
 	if len(lo.unc) > 0 && len(ro.unc) > 0 {
 		uncR := delta.NewHashStore(rKeys)
-		uncR.AddBatch(ro.unc, false, bc.par(len(ro.unc)))
+		uncR.AddBatch(ro.unc, false, bc.par(cluster.CostJoinBuild, len(ro.unc)))
 		out.unc = o.probeInto(out.unc, lo.unc, lKeys, uncR, true, bc)
 	}
 	o.record(out)

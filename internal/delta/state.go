@@ -175,18 +175,24 @@ func (h *HashStore) AddBatch(rows []Row, clone bool, pool *cluster.Pool) {
 		byShard[s] = append(byShard[s], int32(i))
 	}
 	var ns, sizes [storeShards]int
-	pool.Map(storeShards, func(s int) {
-		m := h.shards[s]
-		for _, i := range byShard[s] {
-			r := rows[i]
-			if clone {
-				r = r.Clone()
+	// Shard row counts are the size hints: with skewed keys a few shards
+	// hold most of the batch, and the hints let the pool's stealing
+	// scheduler seed the big shards across different workers instead of
+	// dealing them round-robin.
+	pool.MapSized(storeShards,
+		func(s int) int { return len(byShard[s]) },
+		func(s int) {
+			m := h.shards[s]
+			for _, i := range byShard[s] {
+				r := rows[i]
+				if clone {
+					r = r.Clone()
+				}
+				m[keys[i]] = append(m[keys[i]], r)
+				ns[s]++
+				sizes[s] += r.SizeBytes()
 			}
-			m[keys[i]] = append(m[keys[i]], r)
-			ns[s]++
-			sizes[s] += r.SizeBytes()
-		}
-	})
+		})
 	for s := 0; s < storeShards; s++ {
 		h.n += ns[s]
 		h.size += sizes[s]

@@ -50,14 +50,46 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// parThreshold is the tuple-count floor below which plan nodes evaluate
-// sequentially; a package variable so the equivalence tests can force the
-// parallel paths onto small fixtures.
-var parThreshold = 2048
+// Executor evaluates plans with a fixed worker pool and an adaptive
+// sequential/parallel cutover. The cutover is executor state — an EWMA of
+// measured per-row cost per operator class (cluster.CostModel) — not a
+// package variable, so concurrent executors (and the tests that force the
+// parallel paths onto small fixtures) cannot race on each other's tuning.
+// An Executor is not safe for concurrent use; create one per goroutine.
+type Executor struct {
+	pool *cluster.Pool
+	cost *cluster.CostModel
+}
+
+// NewExecutor returns an executor with the given parallelism (0 selects
+// GOMAXPROCS, 1 forces sequential execution) and an adaptive cutover that
+// improves as the executor runs more plans.
+func NewExecutor(workers int) *Executor {
+	return &Executor{pool: cluster.NewPool(workers), cost: cluster.NewCostModel(0)}
+}
+
+// SetCutover pins the sequential/parallel cutover to a fixed row count for
+// every operator class (n <= 0 restores the adaptive model). This is the
+// test hook that replaced the old mutable package-level threshold: the
+// equivalence suites pin it to 1 to force every parallel path onto small
+// fixtures.
+func (x *Executor) SetCutover(n int) {
+	if n > 0 {
+		x.cost = cluster.NewCostModel(n)
+	} else {
+		x.cost = cluster.NewCostModel(0)
+	}
+}
 
 // Run evaluates the plan against the database and returns the result
-// relation. The plan must be finalized and valid. Parallelism defaults to
-// GOMAXPROCS; the result is identical at any worker count.
+// relation. The plan must be finalized and valid. The result is identical
+// at any worker count.
+func (x *Executor) Run(root plan.Node, db *DB) (*rel.Relation, error) {
+	e := &executor{db: db, pool: x.pool, cost: x.cost}
+	return e.eval(root)
+}
+
+// Run evaluates the plan with default parallelism (GOMAXPROCS).
 func Run(root plan.Node, db *DB) (*rel.Relation, error) {
 	return RunWorkers(root, db, 0)
 }
@@ -65,18 +97,34 @@ func Run(root plan.Node, db *DB) (*rel.Relation, error) {
 // RunWorkers evaluates the plan with an explicit parallelism (0 selects
 // GOMAXPROCS, 1 forces sequential execution).
 func RunWorkers(root plan.Node, db *DB, workers int) (*rel.Relation, error) {
-	e := &executor{db: db, pool: cluster.NewPool(workers)}
-	return e.eval(root)
+	return NewExecutor(workers).Run(root, db)
 }
 
 type executor struct {
 	db   *DB
 	pool *cluster.Pool
+	cost *cluster.CostModel
 }
 
-// fanout reports whether a node processing n tuples should use the pool.
-func (e *executor) fanout(n int) bool {
-	return e.pool.Workers() > 1 && n >= parThreshold
+// fanout reports whether a site of the given class processing n tuples
+// should use the pool. The answer affects only scheduling, never results:
+// every parallel path gated by it is bit-identical to its sequential
+// fallback.
+func (e *executor) fanout(c cluster.OpClass, n int) bool {
+	return e.pool.Workers() > 1 && n >= e.cost.Threshold(c)
+}
+
+// mapChunks runs fill over [0, n) — chunk-parallel when the class cutover
+// says the batch is worth fanning out — and feeds the measured per-row cost
+// back into the executor's model.
+func (e *executor) mapChunks(c cluster.OpClass, n int, fill func(lo, hi int)) {
+	if e.fanout(c, n) {
+		e.cost.Timed(c, n, e.pool.Workers(), func() {
+			e.pool.MapChunks(n, func(_, lo, hi int) { fill(lo, hi) })
+		})
+	} else {
+		e.cost.Timed(c, n, 1, func() { fill(0, n) })
+	}
 }
 
 func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
@@ -97,17 +145,12 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 		}
 		out := rel.NewRelation(in.Schema)
 		keep := make([]bool, len(in.Tuples))
-		fill := func(lo, hi int) {
+		e.mapChunks(cluster.CostSelect, len(in.Tuples), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := t.Pred.Eval(in.Tuples[i].Vals, nil)
 				keep[i] = !v.IsNull() && v.Kind() == rel.KBool && v.Bool()
 			}
-		}
-		if e.fanout(len(in.Tuples)) {
-			e.pool.MapChunks(len(in.Tuples), func(_, lo, hi int) { fill(lo, hi) })
-		} else {
-			fill(0, len(in.Tuples))
-		}
+		})
 		for i, tp := range in.Tuples {
 			if keep[i] {
 				out.Tuples = append(out.Tuples, tp)
@@ -122,7 +165,7 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 		}
 		out := rel.NewRelation(t.Out)
 		out.Tuples = make([]rel.Tuple, len(in.Tuples))
-		fill := func(lo, hi int) {
+		e.mapChunks(cluster.CostProject, len(in.Tuples), func(lo, hi int) {
 			for ti := lo; ti < hi; ti++ {
 				tp := in.Tuples[ti]
 				vals := make([]rel.Value, len(t.Exprs))
@@ -131,12 +174,7 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 				}
 				out.Tuples[ti] = rel.Tuple{Vals: vals, Mult: tp.Mult}
 			}
-		}
-		if e.fanout(len(in.Tuples)) {
-			e.pool.MapChunks(len(in.Tuples), func(_, lo, hi int) { fill(lo, hi) })
-		} else {
-			fill(0, len(in.Tuples))
-		}
+		})
 		return out, nil
 
 	case *plan.Join:
@@ -169,7 +207,7 @@ func (e *executor) eval(n plan.Node) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return aggregate(in, t, 1.0, e.pool), nil
+		return e.aggregate(in, t, 1.0), nil
 
 	default:
 		return nil, fmt.Errorf("exec: unknown node %T", n)
@@ -188,30 +226,37 @@ func (e *executor) buildIndex(tuples []rel.Tuple, keyCols []int) *[joinShards]ma
 	for i := range shards {
 		shards[i] = make(map[string][]rel.Tuple)
 	}
-	if !e.fanout(len(tuples)) {
-		for _, tp := range tuples {
-			k := rel.EncodeKey(tp.Vals, keyCols)
-			s := joinShard(k)
-			shards[s][k] = append(shards[s][k], tp)
-		}
+	if !e.fanout(cluster.CostJoinBuild, len(tuples)) {
+		e.cost.Timed(cluster.CostJoinBuild, len(tuples), 1, func() {
+			for _, tp := range tuples {
+				k := rel.EncodeKey(tp.Vals, keyCols)
+				s := joinShard(k)
+				shards[s][k] = append(shards[s][k], tp)
+			}
+		})
 		return &shards
 	}
-	keys := make([]string, len(tuples))
-	e.pool.MapChunks(len(tuples), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			keys[i] = rel.EncodeKey(tuples[i].Vals, keyCols)
+	e.cost.Timed(cluster.CostJoinBuild, len(tuples), e.pool.Workers(), func() {
+		keys := make([]string, len(tuples))
+		e.pool.MapChunks(len(tuples), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				keys[i] = rel.EncodeKey(tuples[i].Vals, keyCols)
+			}
+		})
+		var byShard [joinShards][]int32
+		for i, k := range keys {
+			s := joinShard(k)
+			byShard[s] = append(byShard[s], int32(i))
 		}
-	})
-	var byShard [joinShards][]int32
-	for i, k := range keys {
-		s := joinShard(k)
-		byShard[s] = append(byShard[s], int32(i))
-	}
-	e.pool.Map(joinShards, func(s int) {
-		m := shards[s]
-		for _, i := range byShard[s] {
-			m[keys[i]] = append(m[keys[i]], tuples[i])
-		}
+		// Size-hinted shard scheduling: under skewed keys one shard holds
+		// most rows; seeding the deques by shard size keeps the heavy shard
+		// alone on a worker while its siblings share the rest.
+		e.pool.MapSized(joinShards, func(s int) int { return len(byShard[s]) }, func(s int) {
+			m := shards[s]
+			for _, i := range byShard[s] {
+				m[keys[i]] = append(m[keys[i]], tuples[i])
+			}
+		})
 	})
 	return &shards
 }
@@ -253,23 +298,27 @@ func (e *executor) hashJoin(l, r *rel.Relation, lKeys, rKeys []int, out rel.Sche
 		}
 		return dst
 	}
-	if !e.fanout(len(probe)) {
-		for _, p := range probe {
-			res.Tuples = emit(res.Tuples, p)
-		}
+	if !e.fanout(cluster.CostJoinProbe, len(probe)) {
+		e.cost.Timed(cluster.CostJoinProbe, len(probe), 1, func() {
+			for _, p := range probe {
+				res.Tuples = emit(res.Tuples, p)
+			}
+		})
 		return res
 	}
-	outs := make([][]rel.Tuple, e.pool.Chunks(len(probe)))
-	e.pool.MapChunks(len(probe), func(c, lo, hi int) {
-		var buf []rel.Tuple
-		for i := lo; i < hi; i++ {
-			buf = emit(buf, probe[i])
+	e.cost.Timed(cluster.CostJoinProbe, len(probe), e.pool.Workers(), func() {
+		outs := make([][]rel.Tuple, e.pool.Chunks(len(probe)))
+		e.pool.MapChunks(len(probe), func(c, lo, hi int) {
+			var buf []rel.Tuple
+			for i := lo; i < hi; i++ {
+				buf = emit(buf, probe[i])
+			}
+			outs[c] = buf
+		})
+		for _, b := range outs {
+			res.Tuples = append(res.Tuples, b...)
 		}
-		outs[c] = buf
 	})
-	for _, b := range outs {
-		res.Tuples = append(res.Tuples, b...)
-	}
 	return res
 }
 
@@ -287,10 +336,11 @@ func joinTuple(l, r rel.Tuple) rel.Tuple {
 // unscaled COUNT) comes back as INT when the value is integral, FLOAT
 // otherwise — never losing precision to the declared kind.
 func Aggregate(in *rel.Relation, t *plan.Aggregate, scale float64) *rel.Relation {
-	return aggregate(in, t, scale, cluster.NewPool(1))
+	e := &executor{pool: cluster.NewPool(1), cost: cluster.NewCostModel(0)}
+	return e.aggregate(in, t, scale)
 }
 
-func aggregate(in *rel.Relation, t *plan.Aggregate, scale float64, pool *cluster.Pool) *rel.Relation {
+func (e *executor) aggregate(in *rel.Relation, t *plan.Aggregate, scale float64) *rel.Relation {
 	type group struct {
 		key  []rel.Value
 		accs []agg.Accumulator
@@ -327,36 +377,57 @@ func aggregate(in *rel.Relation, t *plan.Aggregate, scale float64, pool *cluster
 	}
 	groups := make(map[string]*group)
 	var order []string
-	if pool.Workers() > 1 && len(in.Tuples) >= parThreshold {
-		// Parallel fold: groups are created sequentially in first-seen order
-		// and sharded across workers by creation index; each worker folds
-		// its groups' tuples in input order — the same add sequence per
-		// accumulator as the sequential loop.
-		w := pool.Workers()
-		gptr := make([]*group, len(in.Tuples))
-		shard := make([]int, len(in.Tuples))
-		gshard := make(map[*group]int)
-		for ti, tp := range in.Tuples {
-			if tp.Mult == 0 {
-				continue
-			}
-			k := rel.EncodeKey(tp.Vals, t.GroupBy)
-			g, ok := groups[k]
-			if !ok {
-				g = newGroup(tp)
-				groups[k] = g
-				order = append(order, k)
-				gshard[g] = (len(order) - 1) % w
-			}
-			gptr[ti] = g
-			shard[ti] = gshard[g]
-		}
-		pool.Map(w, func(worker int) {
-			for ti, g := range gptr {
-				if g == nil || shard[ti] != worker {
+	if e.fanout(cluster.CostFold, len(in.Tuples)) {
+		// Parallel fold: groups are created sequentially in first-seen order;
+		// one task per group folds that group's tuples in input order — the
+		// same add sequence per accumulator as the sequential loop, whichever
+		// worker runs it. Size hints (the group's row count) let the
+		// work-stealing scheduler keep a zipf-heavy group alone on a worker
+		// instead of serialising a whole creation-index shard behind it.
+		e.cost.Timed(cluster.CostFold, len(in.Tuples), e.pool.Workers(), func() {
+			var glist []*group
+			rowsOf := make(map[*group][]int32)
+			for ti, tp := range in.Tuples {
+				if tp.Mult == 0 {
 					continue
 				}
-				tp := in.Tuples[ti]
+				k := rel.EncodeKey(tp.Vals, t.GroupBy)
+				g, ok := groups[k]
+				if !ok {
+					g = newGroup(tp)
+					groups[k] = g
+					order = append(order, k)
+					glist = append(glist, g)
+				}
+				rowsOf[g] = append(rowsOf[g], int32(ti))
+			}
+			e.pool.MapSized(len(glist),
+				func(gi int) int { return len(rowsOf[glist[gi]]) },
+				func(gi int) {
+					g := glist[gi]
+					for _, ti := range rowsOf[g] {
+						tp := in.Tuples[ti]
+						for i := range t.Aggs {
+							if v, ok := argVal(i, tp); ok {
+								g.accs[i].Add(v, tp.Mult)
+							}
+						}
+					}
+				})
+		})
+	} else {
+		e.cost.Timed(cluster.CostFold, len(in.Tuples), 1, func() {
+			for _, tp := range in.Tuples {
+				if tp.Mult == 0 {
+					continue
+				}
+				k := rel.EncodeKey(tp.Vals, t.GroupBy)
+				g, ok := groups[k]
+				if !ok {
+					g = newGroup(tp)
+					groups[k] = g
+					order = append(order, k)
+				}
 				for i := range t.Aggs {
 					if v, ok := argVal(i, tp); ok {
 						g.accs[i].Add(v, tp.Mult)
@@ -364,24 +435,6 @@ func aggregate(in *rel.Relation, t *plan.Aggregate, scale float64, pool *cluster
 				}
 			}
 		})
-	} else {
-		for _, tp := range in.Tuples {
-			if tp.Mult == 0 {
-				continue
-			}
-			k := rel.EncodeKey(tp.Vals, t.GroupBy)
-			g, ok := groups[k]
-			if !ok {
-				g = newGroup(tp)
-				groups[k] = g
-				order = append(order, k)
-			}
-			for i := range t.Aggs {
-				if v, ok := argVal(i, tp); ok {
-					g.accs[i].Add(v, tp.Mult)
-				}
-			}
-		}
 	}
 	// SQL semantics: a global aggregate (no GROUP BY) over empty input
 	// still yields one row (COUNT = 0, AVG = NaN/NULL-like).

@@ -137,16 +137,24 @@ func assertRelIdentical(t *testing.T, a, b *rel.Relation) {
 
 // TestRunWorkersEquivalence proves the exact baseline's parallel select, hash
 // join and aggregation are bit-identical to the sequential paths: same output
-// order, kinds, payloads and multiplicities at any worker count.
+// order, kinds, payloads and multiplicities at any worker count. The cutover
+// is pinned per Executor instance (SetCutover) rather than through a package
+// variable, so the forced sub-test cannot race with anything else under
+// `go test -race -parallel`.
 func TestRunWorkersEquivalence(t *testing.T) {
-	run := func(t *testing.T, nFact, nDim int) {
+	run := func(t *testing.T, nFact, nDim, cutover int) {
 		db := factDimDB(nFact, nDim)
 		root := factDimPlan(t)
-		seq, err := RunWorkers(root, db, 1)
+		seqEx, parEx := NewExecutor(1), NewExecutor(8)
+		if cutover > 0 {
+			seqEx.SetCutover(cutover)
+			parEx.SetCutover(cutover)
+		}
+		seq, err := seqEx.Run(root, db)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := RunWorkers(root, db, 8)
+		par, err := parEx.Run(root, db)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,12 +163,42 @@ func TestRunWorkersEquivalence(t *testing.T) {
 		}
 		assertRelIdentical(t, seq, par)
 	}
-	// Above the production threshold: the gate opens on its own.
-	t.Run("production_threshold", func(t *testing.T) { run(t, 3*parThreshold, 50) })
+	// Large fixture: the adaptive gate opens on its own.
+	t.Run("production_threshold", func(t *testing.T) { run(t, 8192, 50, 0) })
 	// Forced: every parallel site engages even on a small fixture.
-	t.Run("forced", func(t *testing.T) {
-		defer func(old int) { parThreshold = old }(parThreshold)
-		parThreshold = 1
-		run(t, 300, 7)
-	})
+	t.Run("forced", func(t *testing.T) { run(t, 300, 7, 1) })
+}
+
+// TestExecutorCutoverIsInstanceState pins the satellite fix for the old
+// data race: two executors with different cutovers run concurrently without
+// observing each other's configuration (the old package-level parThreshold
+// made this a -race failure).
+func TestExecutorCutoverIsInstanceState(t *testing.T) {
+	t.Parallel()
+	db := factDimDB(600, 9)
+	root := factDimPlan(t)
+	ref, err := RunWorkers(root, db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		cut := 1 << uint(i%4) // 1, 2, 4, 8 — all forced parallel, all distinct
+		go func(cut int) {
+			x := NewExecutor(4)
+			x.SetCutover(cut)
+			out, err := x.Run(root, db)
+			if err == nil {
+				if len(out.Tuples) != len(ref.Tuples) {
+					err = fmt.Errorf("row count %d, want %d", len(out.Tuples), len(ref.Tuples))
+				}
+			}
+			done <- err
+		}(cut)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
 }

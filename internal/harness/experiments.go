@@ -317,7 +317,7 @@ func baselineShipped(w *workload.Workload, q workload.Query, cfg Config) (int64,
 	if err != nil {
 		return 0, err
 	}
-	return run.engine.TotalShuffleBytes(), nil
+	return run.engine.TotalExchangeBytes(), nil
 }
 
 // Fig9b is Figure 9(b) (TPC-H state sizes).
@@ -347,11 +347,14 @@ func fig9shipped(cfg Config, w *workload.Workload, id string) ([]*Result, error)
 		if err != nil {
 			return nil, err
 		}
+		// "Data shipped" counts both exchange kinds: repartition traffic and
+		// broadcast replication (published aggregate tables, scalar sides).
 		var total, maxB int64
 		for _, u := range run.updates {
-			total += u.ShuffleBytes
-			if u.ShuffleBytes > maxB {
-				maxB = u.ShuffleBytes
+			b := u.ShuffleBytes + u.BroadcastBytes
+			total += b
+			if b > maxB {
+				maxB = b
 			}
 		}
 		baseShipped, err := baselineShipped(w, q, cfg)
