@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-skew check
+.PHONY: build test vet race check-race fuzz-seeds fuzz bench bench-skew check
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,23 @@ vet:
 	$(GO) vet ./...
 
 # The equivalence suites force every partition-parallel path; -race proves
-# the shard-ownership claims of DESIGN.md §7 hold under the race detector.
+# the shard-ownership claims of DESIGN.md §7 hold under the race detector —
+# including the spill fault-injection tests, whose concurrent probes read
+# spill files while workers insert into sibling shards.
 race:
 	$(GO) test -race ./...
+
+check-race: race
+
+# Run the fuzz corpora as plain tests: every seed in testdata/fuzz and every
+# f.Add seed goes through the spill-row codec round-trip properties.
+fuzz-seeds:
+	$(GO) test -run Fuzz ./internal/storage
+
+# Actually fuzz (open-ended; ctrl-C when satisfied, or FUZZTIME=1m make fuzz).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzRowCodec -fuzztime $(FUZZTIME) ./internal/storage
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
@@ -27,4 +41,4 @@ bench:
 bench-skew:
 	$(GO) run ./cmd/benchskew -o BENCH_skew.json
 
-check: build vet test race
+check: build vet test fuzz-seeds race

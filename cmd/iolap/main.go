@@ -45,6 +45,7 @@ func main() {
 		interactive  = flag.Bool("i", false, "interactive mode: read queries from stdin")
 		maxRows      = flag.Int("maxrows", 10, "result rows to display per update")
 		workers      = flag.Int("workers", 0, "partition-parallel workers (0 = GOMAXPROCS; results identical at any count)")
+		stateBudget  = flag.Int64("state-budget", 0, "join-state budget in bytes: above it cold shards spill to disk (0 = unlimited, negative = spill everything; results identical at any budget)")
 	)
 	flag.Parse()
 	if *interactive {
@@ -56,7 +57,7 @@ func main() {
 		opts := &iolap.Options{
 			Batches: *batches, Trials: *trials, Slack: *slack,
 			Seed: *seed, Stream: *stream, StratifyBy: *stratify,
-			Workers: *workers,
+			Workers: *workers, StateBudgetBytes: *stateBudget,
 		}
 		if err := repl(session, opts, os.Stdin, os.Stdout, *maxRows); err != nil {
 			fmt.Fprintln(os.Stderr, "iolap:", err)
@@ -65,7 +66,8 @@ func main() {
 		return
 	}
 	if err := run(*workloadName, *scale, *queryName, *sqlText, *stream, *batches,
-		*trials, *slack, *seed, *mode, *csvSpec, *iolSpec, *stratify, *showPlan, *showStats, *maxRows, *workers); err != nil {
+		*trials, *slack, *seed, *mode, *csvSpec, *iolSpec, *stratify, *showPlan, *showStats,
+		*maxRows, *workers, *stateBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "iolap:", err)
 		os.Exit(1)
 	}
@@ -158,7 +160,7 @@ func repl(session *iolap.Session, opts *iolap.Options, in io.Reader, out io.Writ
 
 func run(workloadName string, scale int, queryName, sqlText, stream string,
 	batches, trials int, slack float64, seed uint64, modeName, csvSpec, iolSpec, stratify string,
-	showPlan, showStats bool, maxRows, workers int) error {
+	showPlan, showStats bool, maxRows, workers int, stateBudget int64) error {
 	var session *iolap.Session
 	var queries []iolap.BenchQuery
 	switch {
@@ -217,11 +219,12 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 	cur, err := session.Query(query, &iolap.Options{
 		Mode: mode, Batches: batches, Trials: trials, Slack: slack,
 		Seed: seed, Stream: stream, StratifyBy: stratify,
-		Workers: workers,
+		Workers: workers, StateBudgetBytes: stateBudget,
 	})
 	if err != nil {
 		return err
 	}
+	defer cur.Close()
 	if showPlan {
 		fmt.Println(cur.Plan())
 	}
@@ -230,11 +233,14 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 		fmt.Printf("batch %d/%d  %5.1f%% processed  %8.2f ms  rel-stdev %6.3f%%  recomputed %d\n",
 			u.Batch, u.Batches, 100*u.Fraction, u.DurationMillis,
 			100*u.MaxRelStdev(), u.Recomputed)
+		if u.SpillBytesWritten > 0 || u.SpillBytesRead > 0 {
+			fmt.Printf("    spill: %d B written, %d B read\n", u.SpillBytesWritten, u.SpillBytesRead)
+		}
 		printRows(u, maxRows)
 		if showStats {
 			for _, st := range cur.OpStats() {
-				fmt.Printf("    [%-9s] news=%-7d unc=%-7d state=%dB\n",
-					st.Kind, st.News, st.Unc, st.StateBytes)
+				fmt.Printf("    [%-9s] news=%-7d unc=%-7d state=%dB spilled=%d\n",
+					st.Kind, st.News, st.Unc, st.StateBytes, st.SpilledRows)
 			}
 		}
 	}

@@ -96,18 +96,22 @@ func TestLoadCSVErrors(t *testing.T) {
 }
 
 func TestRunWorkloadQuery(t *testing.T) {
-	// Smoke test: the CLI path end to end on a tiny built-in workload.
-	err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0)
+	// Smoke test: the CLI path end to end on a tiny built-in workload —
+	// once in memory, once with all join state forced through spill files.
+	err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, "", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0); err == nil {
+	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, true, 3, 0, -1); err != nil {
+		t.Fatalf("full-spill run: %v", err)
+	}
+	if err := run("", 0, "", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0, 0); err == nil {
 		t.Error("missing workload/csv must fail")
 	}
-	if err := run("conviva", 200, "NOPE", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0); err == nil {
+	if err := run("conviva", 200, "NOPE", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0, 0); err == nil {
 		t.Error("unknown query must fail")
 	}
-	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "badmode", "", "", "", false, false, 3, 0); err == nil {
+	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "badmode", "", "", "", false, false, 3, 0, 0); err == nil {
 		t.Error("unknown mode must fail")
 	}
 }

@@ -153,6 +153,8 @@ type Metrics struct {
 	shuffleRows     atomic.Int64
 	shuffleEvents   atomic.Int64
 	broadcastEvents atomic.Int64
+	spillWritten    atomic.Int64
+	spillRead       atomic.Int64
 }
 
 // RecordShuffle notes bytes that a hash repartition would ship.
@@ -196,6 +198,30 @@ func (m *Metrics) RecordBroadcastBytes(n int) {
 	m.broadcastEvents.Add(1)
 }
 
+// RecordSpillWrite notes bytes written to spill files when join state is
+// evicted under memory pressure. Spill traffic is local disk I/O, not
+// exchange, so it is excluded from TotalBytes.
+func (m *Metrics) RecordSpillWrite(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.spillWritten.Add(int64(n))
+}
+
+// RecordSpillRead notes bytes read back from spill files by probes.
+func (m *Metrics) RecordSpillRead(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.spillRead.Add(int64(n))
+}
+
+// SpillBytesWritten returns total bytes written to spill files.
+func (m *Metrics) SpillBytesWritten() int64 { return m.spillWritten.Load() }
+
+// SpillBytesRead returns total bytes read back from spill files.
+func (m *Metrics) SpillBytesRead() int64 { return m.spillRead.Load() }
+
 // ShuffleBytes returns total shuffled bytes.
 func (m *Metrics) ShuffleBytes() int64 { return m.shuffleBytes.Load() }
 
@@ -221,4 +247,6 @@ func (m *Metrics) Reset() {
 	m.shuffleRows.Store(0)
 	m.shuffleEvents.Store(0)
 	m.broadcastEvents.Store(0)
+	m.spillWritten.Store(0)
+	m.spillRead.Store(0)
 }

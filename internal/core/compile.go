@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iolap/internal/agg"
+	"iolap/internal/delta"
 	"iolap/internal/expr"
 	"iolap/internal/plan"
 	"iolap/internal/rel"
@@ -35,10 +36,15 @@ type compiled struct {
 	norm     plan.Node // normalized plan (diagnostics)
 	streamed []string  // distinct streamed table names
 	nested   bool      // query has nested (uncertainty-coupled) aggregates
+	// spill is the engine's join-state budget; persistent join stores are
+	// registered with it at build time (nil = never spill).
+	spill *delta.SpillPolicy
 }
 
-// compile builds the online operator tree for a finalized plan.
-func compile(root plan.Node, opts Options) (*compiled, error) {
+// compile builds the online operator tree for a finalized plan. spill, when
+// non-nil, is the resident-state budget the persistent join stores register
+// with.
+func compile(root plan.Node, opts Options, spill *delta.SpillPolicy) (*compiled, error) {
 	if opts.Mode == ModeHDA && !opts.NoViewletRewrites {
 		// DBToaster-style higher-order delta: apply the Appendix-B
 		// viewlet-transformation rewrites before execution.
@@ -62,7 +68,7 @@ func compile(root plan.Node, opts Options) (*compiled, error) {
 	}
 	scaleExp := plan.ScaleExp(norm, n)
 	grow := mayGrow(norm, n, an)
-	c := &compiled{analysis: an, norm: norm}
+	c := &compiled{analysis: an, norm: norm, spill: spill}
 	// Variation ranges exist to prune classification decisions; queries
 	// without nested (uncertainty-coupled) aggregates never classify, so
 	// tracking ranges there would only add overhead and spurious
@@ -426,7 +432,7 @@ func (c *compiled) build(n plan.Node, an *plan.Analysis, scaleExp []int, grow []
 			cacheL = cacheL || rInfo.Incomplete
 			cacheR = cacheR || lInfo.Incomplete
 		}
-		op := newOpJoin(t, l, r, cacheL, cacheR)
+		op := newOpJoin(t, l, r, cacheL, cacheR, c.spill)
 		c.ops = append(c.ops, op)
 		return op, nil
 

@@ -22,6 +22,7 @@ import (
 	"iolap/internal/cluster"
 	"iolap/internal/expr"
 	"iolap/internal/rel"
+	"iolap/internal/storage"
 )
 
 // Mode selects the delta update algorithm.
@@ -111,6 +112,22 @@ type Options struct {
 	// equivalence suites pin it to 1 to force every parallel path onto
 	// small fixtures.
 	ParThreshold int
+	// StateBudgetBytes bounds the resident (in-memory) join-state bytes.
+	// When the cached join sides exceed it after a batch, the engine's
+	// SpillPolicy evicts cold HashStore shards to per-shard spill files and
+	// probes read them back transparently. 0 (the default) disables
+	// spilling entirely; negative means a zero-byte budget — every
+	// enforcement pushes all join state to disk. Like Workers and
+	// ParThreshold, the budget affects placement only, never results: the
+	// equivalence suites assert bit-identical output at every budget.
+	StateBudgetBytes int64
+	// SpillFS overrides where spill files live (fault-injection tests use
+	// storage.MemFS / storage.FaultFS). Nil selects the real filesystem
+	// under SpillDir, or a private temp directory — removed by Close — when
+	// SpillDir is empty too.
+	SpillFS storage.FS
+	// SpillDir is the directory for spill files when SpillFS is nil.
+	SpillDir string
 }
 
 func (o Options) withDefaults() Options {

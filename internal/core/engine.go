@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"iolap/internal/bootstrap"
 	"iolap/internal/cluster"
+	"iolap/internal/delta"
 	"iolap/internal/exec"
 	"iolap/internal/plan"
 	"iolap/internal/rel"
@@ -42,8 +44,18 @@ type Update struct {
 	// ShuffleBytes + BroadcastBytes is the "data shipped at query time"
 	// metric of Fig 9(c).
 	BroadcastBytes int64
+	// JoinStateResidentBytes is the in-memory share of JoinStateBytes: the
+	// two differ exactly by the rows the StateBudgetBytes policy has
+	// evicted to spill files.
+	JoinStateResidentBytes int
+	// SpillBytesWritten / SpillBytesRead are this batch's spill-file
+	// traffic: bytes evicted to disk under the state budget and bytes read
+	// back by probes. Local disk I/O, so not part of the data-shipped
+	// metric.
+	SpillBytesWritten, SpillBytesRead int64
 	// Recoveries counts failure-recovery events triggered this batch
-	// (variation-range integrity violations, Section 5.1).
+	// (variation-range integrity violations, Section 5.1, and failed spill
+	// enforcement).
 	Recoveries int
 	// RecoveredFrom is the batch label whose snapshot the last recovery of
 	// this step restored before replaying the merged delta (0 = pristine
@@ -90,6 +102,12 @@ type Engine struct {
 	// keeps learning across batches and concurrent engines cannot race.
 	cost *cluster.CostModel
 
+	// spill is the join-state budget (nil when StateBudgetBytes is 0);
+	// spillDirOwned is a temp directory the engine created for spill files
+	// and removes on Close.
+	spill         *delta.SpillPolicy
+	spillDirOwned string
+
 	totalRecoveries int
 	lastBC          *batchContext
 }
@@ -106,17 +124,26 @@ type engineSnap struct {
 // read in full).
 func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
-	comp, err := compile(root, opts)
+	// The engine shell exists before compilation because the spill policy
+	// the join stores register with points at the engine's metrics.
+	e := &Engine{opts: opts, db: db}
+	if err := e.initSpill(); err != nil {
+		return nil, err
+	}
+	comp, err := compile(root, opts, e.spill)
 	if err != nil {
+		e.Close()
 		return nil, err
 	}
 	if len(comp.streamed) != 1 {
+		e.Close()
 		return nil, fmt.Errorf("core: exactly one streamed table required, plan has %d (%v)",
 			len(comp.streamed), comp.streamed)
 	}
 	table := comp.streamed[0]
 	src, ok := db.Get(table)
 	if !ok {
+		e.Close()
 		return nil, fmt.Errorf("core: streamed table %q not in database", table)
 	}
 	if opts.PreShuffle {
@@ -142,6 +169,7 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 	if opts.StratifyBy != "" {
 		idx, err := src.Schema.Resolve("", opts.StratifyBy)
 		if err != nil {
+			e.Close()
 			return nil, fmt.Errorf("core: stratify column: %w", err)
 		}
 		deltas = stratifyBatches(src, idx, p)
@@ -162,19 +190,55 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 			deltas[i] = d
 		}
 	}
-	e := &Engine{
-		opts:          opts,
-		comp:          comp,
-		db:            db,
-		streamedTable: table,
-		deltas:        deltas,
-		totalRows:     src.Len(),
-		pool:          cluster.NewPool(opts.Workers),
-		cost:          cluster.NewCostModel(opts.ParThreshold),
-	}
+	e.comp = comp
+	e.streamedTable = table
+	e.deltas = deltas
+	e.totalRows = src.Len()
+	e.pool = cluster.NewPool(opts.Workers)
+	e.cost = cluster.NewCostModel(opts.ParThreshold)
 	e.needSnapshots = comp.nested && opts.Mode != ModeHDA && opts.Trials > 0
 	e.base = e.takeSnapshot(0)
 	return e, nil
+}
+
+// initSpill sets up the join-state budget from the options. A zero budget
+// means spilling is disabled (no policy, no files, no temp dir).
+func (e *Engine) initSpill() error {
+	b := e.opts.StateBudgetBytes
+	if b == 0 {
+		return nil
+	}
+	fs := e.opts.SpillFS
+	if fs == nil {
+		dir := e.opts.SpillDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "iolap-spill-")
+			if err != nil {
+				return fmt.Errorf("core: spill dir: %w", err)
+			}
+			dir = d
+			e.spillDirOwned = d
+		}
+		fs = storage.OSFS{Dir: dir}
+	}
+	e.spill = delta.NewSpillPolicy(b, fs, &e.metrics)
+	return nil
+}
+
+// Close releases the engine's spill files (and the temp directory it created
+// for them, if any). The engine remains usable for the join state still in
+// memory, but any spilled rows are gone — call Close only when done
+// stepping. Safe to call on an engine that never spilled, and idempotent.
+func (e *Engine) Close() error {
+	err := e.spill.Close()
+	e.spill = nil
+	if e.spillDirOwned != "" {
+		if rmErr := os.RemoveAll(e.spillDirOwned); rmErr != nil && err == nil {
+			err = rmErr
+		}
+		e.spillDirOwned = ""
+	}
+	return err
 }
 
 // Batches returns the number of mini-batches p.
@@ -259,6 +323,8 @@ func (e *Engine) Step() (*Update, error) {
 	start := time.Now()
 	shuffleBefore := e.metrics.ShuffleBytes()
 	broadcastBefore := e.metrics.BroadcastBytes()
+	spillWrittenBefore := e.metrics.SpillBytesWritten()
+	spillReadBefore := e.metrics.SpillBytesRead()
 	// Snapshot the pre-batch state for recovery. Queries that track no
 	// variation ranges can never fail an integrity check, so they skip
 	// the snapshot cost entirely.
@@ -270,6 +336,10 @@ func (e *Engine) Step() (*Update, error) {
 		}
 	}
 	e.batch++
+	// Inserts from here on are stamped with this batch's epoch — the
+	// coldness key of the spill policy's eviction order. Written before any
+	// pool work starts, so workers only ever read it.
+	e.spill.Advance(e.batch)
 	d := e.deltas[e.batch-1]
 	e.seenRows += d.Len()
 	bc := e.newBatchContext(d, e.seenRows)
@@ -278,13 +348,27 @@ func (e *Engine) Step() (*Update, error) {
 	}
 	recoveries := 0
 	recoveredFrom := -1
-	for attempt := 0; len(bc.failures) > 0; attempt++ {
+	for attempt := 0; ; attempt++ {
+		if len(bc.failures) == 0 {
+			// The batch is consistent; now hold the resident-state budget.
+			// A failed spill leaves its shard's memory authoritative, so
+			// state is still correct — but the budget is not met, and the
+			// write may have left dead bytes. Treat it exactly like an
+			// integrity failure: restore a snapshot, replay the merged
+			// delta, enforce again (transient faults heal; persistent
+			// faults hit the attempt cap below).
+			if err := e.spill.Enforce(); err == nil {
+				break
+			}
+		}
 		if attempt >= 4 {
 			return nil, fmt.Errorf("core: failure recovery did not converge at batch %d", e.batch)
 		}
 		recoveries++
 		e.totalRecoveries++
-		// Pick the earliest consistent batch over all failures.
+		// Pick the earliest consistent batch over all failures (spill
+		// enforcement failures have no failure record and recover to the
+		// previous batch).
 		j := e.batch - 1
 		for _, f := range bc.failures {
 			if f.recoverTo < j {
@@ -333,22 +417,27 @@ func (e *Engine) Step() (*Update, error) {
 	e.lastBC = bc
 	result, ests := e.comp.sink.materialize(bc)
 	u := &Update{
-		Batch:         e.batch,
-		Batches:       len(e.deltas),
-		Fraction:      float64(e.seenRows) / float64(max(1, e.totalRows)),
-		Result:        result,
-		Estimates:     ests,
-		Duration:      time.Since(start),
-		Recomputed:    bc.recomputed,
-		NDSetRows:     e.ndSetRows(),
-		ShuffleBytes:   e.metrics.ShuffleBytes() - shuffleBefore,
-		BroadcastBytes: e.metrics.BroadcastBytes() - broadcastBefore,
-		Recoveries:    recoveries,
-		RecoveredFrom: recoveredFrom,
+		Batch:             e.batch,
+		Batches:           len(e.deltas),
+		Fraction:          float64(e.seenRows) / float64(max(1, e.totalRows)),
+		Result:            result,
+		Estimates:         ests,
+		Duration:          time.Since(start),
+		Recomputed:        bc.recomputed,
+		NDSetRows:         e.ndSetRows(),
+		ShuffleBytes:      e.metrics.ShuffleBytes() - shuffleBefore,
+		BroadcastBytes:    e.metrics.BroadcastBytes() - broadcastBefore,
+		SpillBytesWritten: e.metrics.SpillBytesWritten() - spillWrittenBefore,
+		SpillBytesRead:    e.metrics.SpillBytesRead() - spillReadBefore,
+		Recoveries:        recoveries,
+		RecoveredFrom:     recoveredFrom,
 	}
 	for _, op := range e.comp.ops {
 		if op.kind() == "join" {
 			u.JoinStateBytes += op.stateBytes()
+			if j, ok := op.(*opJoin); ok {
+				u.JoinStateResidentBytes += j.residentBytes()
+			}
 		} else {
 			u.OtherStateBytes += op.stateBytes()
 		}
@@ -386,6 +475,16 @@ func (e *Engine) TotalShuffleBytes() int64 { return e.metrics.ShuffleBytes() }
 // (shuffle + broadcast) — the Fig 9(c)/10(d) "data shipped" total.
 func (e *Engine) TotalExchangeBytes() int64 { return e.metrics.TotalBytes() }
 
+// TotalSpillBytesWritten returns cumulative bytes evicted to spill files.
+func (e *Engine) TotalSpillBytesWritten() int64 { return e.metrics.SpillBytesWritten() }
+
+// TotalSpillBytesRead returns cumulative bytes probes read back from spill
+// files.
+func (e *Engine) TotalSpillBytesRead() int64 { return e.metrics.SpillBytesRead() }
+
+// SpilledRows returns the join-state rows currently living on disk.
+func (e *Engine) SpilledRows() int { return e.spill.SpilledRows() }
+
 // OpStat is one operator's per-batch runtime statistics (EXPLAIN
 // ANALYZE-style observability).
 type OpStat struct {
@@ -397,6 +496,9 @@ type OpStat struct {
 	News, Unc int
 	// StateBytes is the operator's current Section-4.2 state footprint.
 	StateBytes int
+	// SpilledRows is how many of a join's cached rows live in spill files
+	// (always 0 without a state budget, and for non-join operators).
+	SpilledRows int
 }
 
 // OpStats reports per-operator statistics for the most recent batch, in
@@ -405,12 +507,16 @@ func (e *Engine) OpStats() []OpStat {
 	out := make([]OpStat, 0, len(e.comp.ops))
 	for _, op := range e.comp.ops {
 		news, unc := op.lastCounts()
-		out = append(out, OpStat{
+		st := OpStat{
 			Kind:       op.kind(),
 			News:       news,
 			Unc:        unc,
 			StateBytes: op.stateBytes(),
-		})
+		}
+		if j, ok := op.(*opJoin); ok {
+			st.SpilledRows = j.spilledRows()
+		}
+		out = append(out, st)
 	}
 	return out
 }

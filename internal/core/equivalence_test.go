@@ -67,6 +67,14 @@ func assertUpdatesIdentical(t *testing.T, seq, par []*Update) {
 			t.Errorf("batch %d: state bytes (%d,%d) vs (%d,%d)", a.Batch,
 				a.JoinStateBytes, a.OtherStateBytes, b.JoinStateBytes, b.OtherStateBytes)
 		}
+		if a.JoinStateResidentBytes != b.JoinStateResidentBytes {
+			t.Errorf("batch %d: JoinStateResidentBytes %d vs %d", a.Batch,
+				a.JoinStateResidentBytes, b.JoinStateResidentBytes)
+		}
+		if a.SpillBytesWritten != b.SpillBytesWritten || a.SpillBytesRead != b.SpillBytesRead {
+			t.Errorf("batch %d: spill bytes (w %d, r %d) vs (w %d, r %d)", a.Batch,
+				a.SpillBytesWritten, a.SpillBytesRead, b.SpillBytesWritten, b.SpillBytesRead)
+		}
 		if a.ShuffleBytes != b.ShuffleBytes {
 			t.Errorf("batch %d: ShuffleBytes %d vs %d", a.Batch, a.ShuffleBytes, b.ShuffleBytes)
 		}

@@ -417,15 +417,45 @@ type opJoin struct {
 	lw             int // left schema width
 }
 
-func newOpJoin(t *plan.Join, l, r operator, cacheL, cacheR bool) *opJoin {
+// newOpJoin builds the join operator. The persistent side stores — the ones
+// that accumulate across batches — register with the engine's spill policy;
+// the transient per-batch stores step() builds stay memory-only.
+func newOpJoin(t *plan.Join, l, r operator, cacheL, cacheR bool, spill *delta.SpillPolicy) *opJoin {
 	op := &opJoin{node: t, l: l, r: r, lw: len(t.L.Schema())}
 	if cacheL {
 		op.lStore = delta.NewHashStore(t.LKeys)
+		spill.Register(op.lStore)
 	}
 	if cacheR {
 		op.rStore = delta.NewHashStore(t.RKeys)
+		spill.Register(op.rStore)
 	}
 	return op
+}
+
+// spilledRows reports how many cached join rows currently live on disk.
+func (o *opJoin) spilledRows() int {
+	n := 0
+	if o.lStore != nil {
+		n += o.lStore.SpilledRows()
+	}
+	if o.rStore != nil {
+		n += o.rStore.SpilledRows()
+	}
+	return n
+}
+
+// residentBytes is the in-memory share of stateBytes (they differ only when
+// shards have spilled).
+func (o *opJoin) residentBytes() int {
+	n := 0
+	if o.lStore != nil {
+		n += o.lStore.MemBytes()
+	}
+	if o.rStore != nil {
+		n += o.rStore.MemBytes()
+	}
+	return n
 }
 
 func (o *opJoin) joinRows(l, r delta.Row) delta.Row {

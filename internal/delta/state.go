@@ -106,25 +106,42 @@ func (s *RowSet) Restore(snap *RowSet) {
 
 // storeShards is the fixed internal shard count of a HashStore. A key lives
 // in exactly one shard (by FNV-1a of its encoding), which lets AddBatch give
-// each shard to one worker while preserving per-key insertion order.
+// each shard to one worker while preserving per-key insertion order. The
+// shard is also the spill unit: eviction moves one whole shard's hot rows to
+// that shard's spill file.
 const storeShards = 16
+
+// shard is one of the 16 key-space partitions of a HashStore. Rows for a key
+// live as an on-disk prefix (spilled, in run order) followed by an in-memory
+// suffix (hot, in insertion order); eviction moves the entire hot suffix to
+// disk, so the prefix/suffix split is the only invariant reads rely on.
+type shard struct {
+	hot     map[string][]Row
+	spilled map[string][]spillRef // nil until the shard first spills
+	mem     int                   // resident bytes of hot rows
+	disk    int                   // logical bytes of spilled rows
+	onDisk  int                   // spilled row count
+	lastAdd int                   // policy epoch of the last insert (coldness)
+}
 
 // HashStore is a join side's accumulated certain rows, hashed by join key
 // (Section 4.2's JOIN state). Insertion order is preserved per key for
 // deterministic replay. Internally the key space is split into a fixed
-// number of shards so batch builds can run partition-parallel.
+// number of shards so batch builds can run partition-parallel and eviction
+// can spill cold shards wholesale.
 type HashStore struct {
 	keys   []int // key column indexes
-	shards [storeShards]map[string][]Row
+	shards [storeShards]shard
 	n      int
-	size   int
+	size   int           // logical bytes of all rows, hot or spilled
+	sp     *spillBackend // nil for memory-only stores
 }
 
 // NewHashStore builds a store hashing on the given column indexes.
 func NewHashStore(keyCols []int) *HashStore {
 	h := &HashStore{keys: keyCols}
 	for i := range h.shards {
-		h.shards[i] = make(map[string][]Row)
+		h.shards[i].hot = make(map[string][]Row)
 	}
 	return h
 }
@@ -141,10 +158,21 @@ func shardOf(key string) int {
 // Add inserts a row under its key.
 func (h *HashStore) Add(r Row) {
 	k := rel.EncodeKey(r.Vals, h.keys)
-	m := h.shards[shardOf(k)]
-	m[k] = append(m[k], r)
+	h.addKeyed(shardOf(k), k, r)
+}
+
+// addKeyed inserts a pre-hashed row. The caller must own shard s (the
+// sequential path trivially does; AddBatch gives each shard to one worker).
+func (h *HashStore) addKeyed(s int, k string, r Row) {
+	sh := &h.shards[s]
+	sh.hot[k] = append(sh.hot[k], r)
+	sz := r.SizeBytes()
+	sh.mem += sz
+	if h.sp != nil {
+		sh.lastAdd = h.sp.policy.epoch
+	}
 	h.n++
-	h.size += r.SizeBytes()
+	h.size += sz
 }
 
 // AddBatch inserts a slice of rows, cloning each first when clone is set.
@@ -182,15 +210,22 @@ func (h *HashStore) AddBatch(rows []Row, clone bool, pool *cluster.Pool) {
 	pool.MapSized(storeShards,
 		func(s int) int { return len(byShard[s]) },
 		func(s int) {
-			m := h.shards[s]
+			if len(byShard[s]) == 0 {
+				return
+			}
+			sh := &h.shards[s]
 			for _, i := range byShard[s] {
 				r := rows[i]
 				if clone {
 					r = r.Clone()
 				}
-				m[keys[i]] = append(m[keys[i]], r)
+				sh.hot[keys[i]] = append(sh.hot[keys[i]], r)
 				ns[s]++
 				sizes[s] += r.SizeBytes()
+			}
+			sh.mem += sizes[s]
+			if h.sp != nil {
+				sh.lastAdd = h.sp.policy.epoch
 			}
 		})
 	for s := 0; s < storeShards; s++ {
@@ -201,16 +236,42 @@ func (h *HashStore) AddBatch(rows []Row, clone bool, pool *cluster.Pool) {
 
 // Probe returns the rows matching the key columns of probe (resolved through
 // the probe-side key indexes). Read-only: safe for concurrent use while no
-// Add/AddBatch/Restore is in flight.
+// Add/AddBatch/Restore/spill is in flight (spill file reads are positional).
+// When part of the key's rows were evicted, Probe reads them back
+// transparently; a spill-file read failure panics, because spill files are
+// process-local scratch whose loss is unrecoverable within the process — the
+// engine's §5.1 snapshot/replay handles process-level failures.
 func (h *HashStore) Probe(probeVals []rel.Value, probeKeys []int) []Row {
 	k := rel.EncodeKey(probeVals, probeKeys)
-	return h.shards[shardOf(k)][k]
+	s := shardOf(k)
+	sh := &h.shards[s]
+	hot := sh.hot[k]
+	refs := sh.spilled[k]
+	if len(refs) == 0 {
+		return hot
+	}
+	return append(h.sp.readRefs(nil, s, refs), hot...)
 }
 
-// Each visits all stored rows.
+// Each visits all stored rows, spilled prefix before hot suffix per key.
 func (h *HashStore) Each(fn func(Row)) {
-	for _, m := range h.shards {
-		for _, rows := range m {
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for k, refs := range sh.spilled {
+			if len(refs) == 0 {
+				continue
+			}
+			for _, r := range h.sp.readRefs(nil, s, refs) {
+				fn(r)
+			}
+			for _, r := range sh.hot[k] {
+				fn(r)
+			}
+		}
+		for k, rows := range sh.hot {
+			if len(sh.spilled[k]) > 0 {
+				continue // already visited above
+			}
 			for _, r := range rows {
 				fn(r)
 			}
@@ -221,26 +282,60 @@ func (h *HashStore) Each(fn func(Row)) {
 // Len returns the number of stored rows.
 func (h *HashStore) Len() int { return h.n }
 
-// SizeBytes estimates the state footprint.
+// SizeBytes estimates the logical state footprint — all rows whether hot or
+// spilled, so the Figure 9(b)/10(c) state metric is budget-invariant.
 func (h *HashStore) SizeBytes() int { return 48 + h.size }
+
+// MemBytes estimates the resident (hot, in-memory) footprint only: the
+// quantity the SpillPolicy budgets.
+func (h *HashStore) MemBytes() int {
+	n := 48
+	for s := range h.shards {
+		n += h.shards[s].mem
+	}
+	return n
+}
+
+// SpilledRows returns how many rows currently live on disk.
+func (h *HashStore) SpilledRows() int {
+	n := 0
+	for s := range h.shards {
+		n += h.shards[s].onDisk
+	}
+	return n
+}
 
 // HashSnap is a truncation snapshot of a HashStore. The store is
 // append-only and rows are immutable once added (Add clones), so a snapshot
-// needs only the per-key lengths — O(keys) instead of O(rows), which keeps
-// the controller's per-batch snapshots cheap even when a join caches an
-// entire fact side.
+// needs only the per-key TOTAL row counts — spilled prefix plus hot suffix —
+// O(keys) instead of O(rows), which keeps the controller's per-batch
+// snapshots cheap even when a join caches an entire fact side. Counting
+// totals rather than in-memory lengths makes snapshots location-independent:
+// eviction between Snapshot and Restore moves rows to disk but never
+// reorders the per-key sequence, so the counts still identify the prefix to
+// keep.
 type HashSnap struct {
 	perKey map[string]int
 	n      int
 	size   int
 }
 
-// Snapshot records the current per-key lengths.
+// Snapshot records the current per-key total row counts.
 func (h *HashStore) Snapshot() *HashSnap {
 	s := &HashSnap{perKey: make(map[string]int), n: h.n, size: h.size}
-	for _, m := range h.shards {
-		for k, rows := range m {
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for k, rows := range sh.hot {
 			s.perKey[k] = len(rows)
+		}
+		for k, refs := range sh.spilled {
+			n := 0
+			for _, ref := range refs {
+				n += ref.n
+			}
+			if n > 0 {
+				s.perKey[k] += n
+			}
 		}
 	}
 	return s
@@ -248,20 +343,84 @@ func (h *HashStore) Snapshot() *HashSnap {
 
 // Restore truncates the store back to a snapshot taken from it. Only valid
 // for snapshots of this store's own past (rows are never mutated in place,
-// so truncation recovers the exact earlier contents).
+// so truncation recovers the exact earlier contents). Per key, the first
+// `want` rows of the spilled-then-hot sequence are kept: whole spill runs
+// where possible, a run straddling the cut is trimmed at a row boundary by
+// decoding its length prefixes, and the hot remainder is truncated last.
+// Spill files shrink to the highest surviving run end — as hygiene, not
+// correctness: the run index is the source of truth and orphaned bytes past
+// the logical end are simply overwritten by the next spill.
 func (h *HashStore) Restore(snap *HashSnap) {
-	for _, m := range h.shards {
-		for k, rows := range m {
-			want, ok := snap.perKey[k]
-			if !ok {
-				delete(m, k)
-				continue
-			}
-			if want < len(rows) {
-				m[k] = rows[:want]
-			}
-		}
+	for s := range h.shards {
+		h.restoreShard(s, snap)
 	}
 	h.n = snap.n
 	h.size = snap.size
+}
+
+func (h *HashStore) restoreShard(s int, snap *HashSnap) {
+	sh := &h.shards[s]
+	var maxEnd int64
+	for k, refs := range sh.spilled {
+		want := snap.perKey[k] // 0 when the key postdates the snapshot
+		kept := refs[:0]
+		for _, ref := range refs {
+			switch {
+			case want >= ref.n:
+				kept = append(kept, ref)
+				want -= ref.n
+			case want > 0:
+				kept = append(kept, h.sp.trimRef(s, ref, want))
+				want = 0
+			}
+		}
+		if len(kept) == 0 {
+			delete(sh.spilled, k)
+		} else {
+			sh.spilled[k] = kept
+			if end := kept[len(kept)-1].off + kept[len(kept)-1].bytes; end > maxEnd {
+				maxEnd = end
+			}
+		}
+		// Hot rows survive only past the full spilled prefix.
+		if hot := sh.hot[k]; len(hot) > 0 {
+			if want < len(hot) {
+				if want == 0 {
+					delete(sh.hot, k)
+				} else {
+					sh.hot[k] = hot[:want]
+				}
+			}
+		}
+	}
+	for k, rows := range sh.hot {
+		if len(sh.spilled[k]) > 0 {
+			continue // trimmed above
+		}
+		want, ok := snap.perKey[k]
+		if !ok {
+			delete(sh.hot, k)
+			continue
+		}
+		if want < len(rows) {
+			sh.hot[k] = rows[:want]
+		}
+	}
+	// Recompute the derived accounting from the surviving contents.
+	sh.mem = 0
+	for _, rows := range sh.hot {
+		for _, r := range rows {
+			sh.mem += r.SizeBytes()
+		}
+	}
+	sh.disk, sh.onDisk = 0, 0
+	for _, refs := range sh.spilled {
+		for _, ref := range refs {
+			sh.disk += int(ref.bytes)
+			sh.onDisk += ref.n
+		}
+	}
+	if h.sp != nil {
+		h.sp.truncateTo(s, maxEnd)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"iolap/internal/core"
+	"iolap/internal/rel"
+	"iolap/internal/storage"
 	"iolap/internal/workload"
 )
 
@@ -564,6 +566,86 @@ func Fig10ab(cfg Config) ([]*Result, error) {
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// Spill is an extra experiment (not a paper artifact): it sweeps the
+// join-state byte budget on the join-heavy TPC-H Q17 and shows the paper's
+// Figure 9(b)/10(c) state-size story under memory pressure — resident state
+// shrinks to the budget while spill files absorb the rest, and the refined
+// results stay bit-identical to the unlimited-memory run at every budget.
+func Spill(cfg Config) ([]*Result, error) {
+	cfg = cfg.WithDefaults()
+	w := cfg.tpch()
+	q, ok := w.Query("Q17")
+	if !ok {
+		return nil, fmt.Errorf("spill: no Q17 in workload %s", w.Name)
+	}
+	opts := core.Options{Batches: cfg.Batches, Trials: cfg.Trials, Slack: cfg.Slack, Seed: cfg.Seed}
+	ref, err := runQuery(w, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	peak := 0
+	for _, u := range ref.updates {
+		if u.JoinStateBytes > peak {
+			peak = u.JoinStateBytes
+		}
+	}
+	budgets := []struct {
+		name   string
+		budget int64
+	}{
+		{"unlimited", 0},
+		{"peak/2", max64(1, int64(peak/2))},
+		{"peak/8", max64(1, int64(peak/8))},
+		{"zero", -1},
+	}
+	res := &Result{
+		ID:    "spill",
+		Title: "TPC-H Q17: join-state budget vs resident state and spill traffic",
+		Header: []string{"budget", "join_state_kb", "resident_kb", "spilled_rows",
+			"written_kb", "read_kb", "total_ms", "identical"},
+	}
+	for _, b := range budgets {
+		o := opts
+		o.StateBudgetBytes = b.budget
+		o.SpillFS = storage.NewMemFS()
+		run, err := runQuery(w, q, o)
+		if err != nil {
+			return nil, err
+		}
+		identical := len(run.updates) == len(ref.updates)
+		for i := range run.updates {
+			if !identical || !rel.EqualBag(run.updates[i].Result, ref.updates[i].Result, 0) {
+				identical = false
+				break
+			}
+		}
+		last := run.updates[len(run.updates)-1]
+		res.Rows = append(res.Rows, []string{
+			b.name,
+			kb(int64(last.JoinStateBytes)),
+			kb(int64(last.JoinStateResidentBytes)),
+			fmt.Sprint(run.engine.SpilledRows()),
+			kb(run.engine.TotalSpillBytesWritten()),
+			kb(run.engine.TotalSpillBytesRead()),
+			ms(run.totalLatency()),
+			yesNo(identical),
+		})
+		if err := run.engine.Close(); err != nil {
+			return nil, err
+		}
+	}
+	res.Notes = append(res.Notes,
+		"expected: resident state tracks the budget while logical state and results are budget-invariant; disk traffic grows as the budget shrinks")
+	return []*Result{res}, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
 }
 
 // ScaleSensitivity is an extra experiment (not a paper artifact): it shows

@@ -126,6 +126,7 @@ func All() []Experiment {
 		{ID: "fig10c", Paper: "Figure 10(c) operator state sizes, Conviva", Run: Fig10c},
 		{ID: "fig10d", Paper: "Figure 10(d) data shipped, Conviva", Run: Fig10d},
 		{ID: "fig10ef", Paper: "Figure 10(e,f) slack sweep, TPC-H", Run: Fig10ef},
+		{ID: "spill", Paper: "(extra) join-state budget vs spill traffic, TPC-H Q17", Run: Spill},
 		{ID: "scale", Paper: "(extra) scale sensitivity of the tiny-group deviations", Run: ScaleSensitivity},
 	}
 }

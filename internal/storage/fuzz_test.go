@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"iolap/internal/rel"
+)
+
+// seedSpillRow encodes one representative row for the fuzz corpus.
+func seedSpillRow(t testing.TB, vals []rel.Value, mult float64, w []float64) []byte {
+	t.Helper()
+	b, err := AppendSpillRow(nil, vals, mult, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzRowCodec drives DecodeSpillRow with arbitrary bytes. Two properties:
+//
+//  1. No input may panic or over-read: the decoder either fails cleanly or
+//     consumes exactly the bytes the length prefix promised.
+//  2. Any input that decodes must round-trip: re-encoding the decoded row
+//     and decoding again yields the same values (value-level, not
+//     byte-level — varints accept non-minimal encodings, so corrupt-but-
+//     decodable inputs can be longer than their canonical form).
+func FuzzRowCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(seedSpillRow(f, nil, 0, nil))
+	f.Add(seedSpillRow(f, []rel.Value{rel.Int(1), rel.String("x")}, 1, []float64{1, 2}))
+	f.Add(seedSpillRow(f, []rel.Value{rel.Null(), rel.Bool(true), rel.Float(math.NaN())}, 2.5, nil))
+	f.Add(seedSpillRow(f, []rel.Value{rel.NewRef(rel.Ref{Op: 3, Key: "k|v", Col: 1})}, 1, []float64{0}))
+	f.Add(seedSpillRow(f, []rel.Value{rel.String("日本語"), rel.Int(-1)}, -1, []float64{math.Inf(1)}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, mult, w, n, err := DecodeSpillRow(data)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if size, err := SpillRowSize(data); err != nil || size != n {
+			t.Fatalf("SpillRowSize = (%d, %v), decode consumed %d", size, err, n)
+		}
+		// Round-trip: canonical re-encoding must decode to the same row.
+		enc, err := AppendSpillRow(nil, vals, mult, w)
+		if err != nil {
+			t.Fatalf("re-encode of decoded row failed: %v", err)
+		}
+		vals2, mult2, w2, n2, err := DecodeSpillRow(enc)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("canonical encoding has %d trailing bytes", len(enc)-n2)
+		}
+		if len(vals2) != len(vals) {
+			t.Fatalf("round-trip changed value count %d -> %d", len(vals), len(vals2))
+		}
+		for i := range vals {
+			if !spillValueIdentical(vals[i], vals2[i]) {
+				t.Fatalf("value %d changed: %v -> %v", i, vals[i], vals2[i])
+			}
+		}
+		if math.Float64bits(mult2) != math.Float64bits(mult) {
+			t.Fatalf("mult changed: %v -> %v", mult, mult2)
+		}
+		if len(w2) != len(w) {
+			t.Fatalf("weight count changed %d -> %d", len(w), len(w2))
+		}
+		for i := range w {
+			if math.Float64bits(w2[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("weight %d changed: %v -> %v", i, w[i], w2[i])
+			}
+		}
+		// And the canonical encoding is a fixed point of encode∘decode.
+		enc2, err := AppendSpillRow(nil, vals2, mult2, w2)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point (err %v)", err)
+		}
+	})
+}
+
+// spillValueIdentical is bit-precise equality: rel.Value.Equal compares
+// INT/FLOAT numerically and NaN != NaN, neither of which is what a codec
+// round-trip check wants.
+func spillValueIdentical(a, b rel.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case rel.KNull:
+		return true
+	case rel.KBool:
+		return a.Bool() == b.Bool()
+	case rel.KInt:
+		return a.Int() == b.Int()
+	case rel.KFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case rel.KString:
+		return a.Str() == b.Str()
+	case rel.KRef:
+		return a.Ref() == b.Ref()
+	}
+	return false
+}

@@ -133,6 +133,16 @@ type Options struct {
 	// Workers bounds partition parallelism (default GOMAXPROCS). Results
 	// are bit-identical at any worker count; only wall clock changes.
 	Workers int
+	// StateBudgetBytes caps resident join state: when cached join rows
+	// exceed the budget, cold shards spill to disk and are read back
+	// transparently on probe. Zero disables spilling; negative forces all
+	// join state to disk. Like Workers, the budget changes only placement —
+	// results stay bit-identical at any value. Call Cursor.Close when done
+	// to release spill files.
+	StateBudgetBytes int64
+	// SpillDir hosts the spill files (default: a temp directory owned and
+	// removed by the cursor).
+	SpillDir string
 }
 
 // Estimate is the bootstrap error summary of one numeric output cell.
@@ -168,6 +178,9 @@ type Update struct {
 	Recomputed int
 	// Recoveries counts variation-range failure recoveries this batch.
 	Recoveries int
+	// SpillBytesWritten / SpillBytesRead are this batch's join-state
+	// spill-file traffic (zero unless Options.StateBudgetBytes is set).
+	SpillBytesWritten, SpillBytesRead int64
 }
 
 // MaxRelStdev returns the worst relative standard deviation across all
@@ -483,6 +496,9 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 		StratifyBy: opts.StratifyBy,
 		BlockRows:  opts.BlockRows,
 		Workers:    opts.Workers,
+
+		StateBudgetBytes: opts.StateBudgetBytes,
+		SpillDir:         opts.SpillDir,
 	})
 	if err != nil {
 		return nil, err
@@ -532,6 +548,11 @@ func (c *Cursor) RunUntil(target float64) (*Update, error) {
 // Recoveries returns the total failure-recovery count so far.
 func (c *Cursor) Recoveries() int { return c.engine.TotalRecoveries() }
 
+// Close releases the cursor's spill files and their temp directory, if any.
+// Call it when done iterating a query that set Options.StateBudgetBytes;
+// it is a no-op otherwise, and idempotent.
+func (c *Cursor) Close() error { return c.engine.Close() }
+
 // Plan renders the compiled online plan (diagnostics).
 func (c *Cursor) Plan() string { return c.engine.PlanString() }
 
@@ -543,6 +564,9 @@ type OpStat struct {
 	News, Unc int
 	// StateBytes is the operator's current state footprint.
 	StateBytes int
+	// SpilledRows is how many of the operator's cached rows currently live
+	// in spill files rather than memory (joins only).
+	SpilledRows int
 }
 
 // OpStats reports per-operator statistics for the most recent batch
@@ -551,7 +575,8 @@ func (c *Cursor) OpStats() []OpStat {
 	raw := c.engine.OpStats()
 	out := make([]OpStat, len(raw))
 	for i, s := range raw {
-		out[i] = OpStat{Kind: s.Kind, News: s.News, Unc: s.Unc, StateBytes: s.StateBytes}
+		out[i] = OpStat{Kind: s.Kind, News: s.News, Unc: s.Unc,
+			StateBytes: s.StateBytes, SpilledRows: s.SpilledRows}
 	}
 	return out
 }
@@ -564,6 +589,9 @@ func convertUpdate(u *core.Update, pp *sql.PostProcess) *Update {
 		DurationMillis: float64(u.Duration.Microseconds()) / 1000,
 		Recomputed:     u.Recomputed,
 		Recoveries:     u.Recoveries,
+
+		SpillBytesWritten: u.SpillBytesWritten,
+		SpillBytesRead:    u.SpillBytesRead,
 	}
 	// ORDER BY / LIMIT apply per delivered result; estimate alignment is
 	// preserved by sorting indexes alongside.
