@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check-race fuzz-seeds fuzz bench bench-skew check
+.PHONY: build test vet race check-race fuzz-seeds fuzz bench bench-skew bench-dist check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,9 @@ vet:
 # The equivalence suites force every partition-parallel path; -race proves
 # the shard-ownership claims of DESIGN.md §7 hold under the race detector —
 # including the spill fault-injection tests, whose concurrent probes read
-# spill files while workers insert into sibling shards.
+# spill files while workers insert into sibling shards, and the dist
+# equivalence suite (DESIGN.md §9), whose loopback workers run full engine
+# replicas on goroutines inside the test process.
 race:
 	$(GO) test -race ./...
 
@@ -40,5 +42,13 @@ bench:
 # figures are machine-independent).
 bench-skew:
 	$(GO) run ./cmd/benchskew -o BENCH_skew.json
+
+# Distributed-execution benchmark: local vs loopback vs TCP (2 workers on
+# localhost) on TPC-H Q3/Q17. Distribution on one machine is pure overhead;
+# the figures of interest are the transport cost and the measured wire
+# bytes (deterministic, identical between loopback and TCP). Writes
+# BENCH_dist.json.
+bench-dist:
+	$(GO) run ./cmd/benchdist -o BENCH_dist.json
 
 check: build vet test fuzz-seeds race

@@ -1,0 +1,235 @@
+// Command benchdist measures distributed-execution overhead and writes
+// BENCH_dist.json. For TPC-H Q3 and Q17 it runs the delta pipeline locally,
+// over the in-process loopback transport, and over real TCP workers on
+// localhost (2 workers each), reporting per-transport:
+//
+//   - ns/op: wall-clock for the full batch sequence, median of -reps runs.
+//     Distribution on one machine is pure overhead — the interesting figure
+//     is how much the transport costs, not a speedup.
+//
+//   - wire shuffle/broadcast bytes: frames measured on the transport,
+//     deterministic per (query, batches, workers) and identical between
+//     loopback and TCP.
+//
+//   - identical: whether every batch reproduced the local run bit for bit.
+//
+//     benchdist -o BENCH_dist.json
+//     benchdist -fact 4000 -batches 10 -reps 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"iolap/internal/core"
+	"iolap/internal/dist"
+	"iolap/internal/rel"
+	"iolap/internal/workload"
+)
+
+type transportResult struct {
+	NsPerOp        int64 `json:"ns_per_op"`
+	WireShuffleB   int64 `json:"wire_shuffle_bytes"`
+	WireBroadcastB int64 `json:"wire_broadcast_bytes"`
+	Identical      bool  `json:"identical"`
+}
+
+type queryResult struct {
+	Query    string          `json:"query"`
+	Local    transportResult `json:"local"`
+	Loopback transportResult `json:"loopback"`
+	TCP      transportResult `json:"tcp"`
+}
+
+type report struct {
+	Fact    int           `json:"fact_rows"`
+	Batches int           `json:"batches"`
+	Workers int           `json:"workers"`
+	Cores   int           `json:"cores"`
+	Reps    int           `json:"reps"`
+	Results []queryResult `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_dist.json", "output JSON path")
+		fact    = flag.Int("fact", 3000, "TPC-H fact rows")
+		batches = flag.Int("batches", 8, "mini-batch count")
+		trials  = flag.Int("trials", 20, "bootstrap trials")
+		reps    = flag.Int("reps", 5, "repetitions per measurement (median)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	w := workload.TPCH(workload.TPCHScale{Fact: *fact, Seed: int64(*seed)})
+	rep := report{Fact: *fact, Batches: *batches, Workers: 2,
+		Cores: runtime.NumCPU(), Reps: *reps}
+	opts := core.Options{Batches: *batches, Trials: *trials, Slack: 2.0,
+		Seed: *seed, Workers: 1}
+
+	for _, name := range []string{"Q3", "Q17"} {
+		q, ok := w.Query(name)
+		if !ok {
+			fatal(fmt.Errorf("no %s in workload", name))
+		}
+		qr := queryResult{Query: name}
+		ref, err := measure(w, q, opts, "local", *reps, nil)
+		if err != nil {
+			fatal(err)
+		}
+		qr.Local = ref.result
+		for _, tr := range []string{"loopback", "tcp"} {
+			m, err := measure(w, q, opts, tr, *reps, ref.updates)
+			if err != nil {
+				fatal(err)
+			}
+			switch tr {
+			case "loopback":
+				qr.Loopback = m.result
+			case "tcp":
+				qr.TCP = m.result
+			}
+		}
+		rep.Results = append(rep.Results, qr)
+		fmt.Printf("%s: local %.2fms  loopback %.2fms  tcp %.2fms  wire %dB shuffle / %dB broadcast  identical=%v\n",
+			name, float64(qr.Local.NsPerOp)/1e6, float64(qr.Loopback.NsPerOp)/1e6,
+			float64(qr.TCP.NsPerOp)/1e6, qr.TCP.WireShuffleB, qr.TCP.WireBroadcastB,
+			qr.Loopback.Identical && qr.TCP.Identical)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+type measurement struct {
+	result  transportResult
+	updates []*core.Update
+}
+
+// measure runs the query -reps times over the given transport and reports
+// the median wall clock plus the last run's wire bytes and updates. ref, if
+// non-nil, is the local run to compare against batch by batch.
+func measure(w *workload.Workload, q workload.Query, opts core.Options, transport string, reps int, ref []*core.Update) (*measurement, error) {
+	durs := make([]time.Duration, reps)
+	var m measurement
+	for i := range durs {
+		start := time.Now()
+		updates, wireSh, wireBc, err := runOnce(w, q, opts, transport)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", q.Name, transport, err)
+		}
+		durs[i] = time.Since(start)
+		m.updates = updates
+		m.result.WireShuffleB = wireSh
+		m.result.WireBroadcastB = wireBc
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	m.result.NsPerOp = durs[len(durs)/2].Nanoseconds()
+	m.result.Identical = ref == nil || sameRun(m.updates, ref)
+	return &m, nil
+}
+
+func sameRun(a, b []*core.Update) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !rel.EqualBag(a[i].Result, b[i].Result, 0) ||
+			a[i].ShuffleBytes != b[i].ShuffleBytes ||
+			a[i].Recomputed != b[i].Recomputed {
+			return false
+		}
+	}
+	return true
+}
+
+func runOnce(w *workload.Workload, q workload.Query, opts core.Options, transport string) ([]*core.Update, int64, int64, error) {
+	var coord *dist.Coordinator
+	var cleanup []func()
+	defer func() {
+		for _, f := range cleanup {
+			f()
+		}
+	}()
+	if transport != "local" {
+		var conns []net.Conn
+		switch transport {
+		case "loopback":
+			var stop func()
+			conns, stop = dist.StartLoopback(2, dist.WorkerOptions{Workers: 1})
+			cleanup = append(cleanup, stop)
+		case "tcp":
+			addrs := make([]string, 2)
+			for i := range addrs {
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				cleanup = append(cleanup, func() { l.Close() })
+				go dist.Serve(l, dist.WorkerOptions{Workers: 1})
+				addrs[i] = l.Addr().String()
+			}
+			var err error
+			if conns, err = dist.Dial(addrs, 0); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		coord = dist.NewCoordinator(conns, dist.Config{MinRows: 1})
+		cleanup = append(cleanup, func() { coord.Close() })
+		streamed := make(map[string]bool, len(w.Tables))
+		for name := range w.Tables {
+			streamed[name] = name == q.Stream
+		}
+		if err := coord.Setup(w.DB(), streamed, q.SQL, opts); err != nil {
+			return nil, 0, 0, err
+		}
+		opts.Exchange = coord
+	}
+
+	node, _, err := w.Plan(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	eng, err := core.NewEngine(node, w.DB(), opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var updates []*core.Update
+	for !eng.Done() {
+		var u *core.Update
+		if coord != nil {
+			u, err = coord.Step(eng)
+		} else {
+			u, err = eng.Step()
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if u == nil {
+			break
+		}
+		updates = append(updates, u)
+	}
+	if coord != nil {
+		sh, bc := coord.WireStats()
+		return updates, sh, bc, nil
+	}
+	return updates, 0, 0, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdist:", err)
+	os.Exit(1)
+}

@@ -15,14 +15,17 @@ package main
 import (
 	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"strconv"
 	"strings"
 
 	"iolap"
+	"iolap/internal/dist"
 )
 
 func main() {
@@ -46,8 +49,21 @@ func main() {
 		maxRows      = flag.Int("maxrows", 10, "result rows to display per update")
 		workers      = flag.Int("workers", 0, "partition-parallel workers (0 = GOMAXPROCS; results identical at any count)")
 		stateBudget  = flag.Int64("state-budget", 0, "join-state budget in bytes: above it cold shards spill to disk (0 = unlimited, negative = spill everything; results identical at any budget)")
+		workerAddr   = flag.String("worker", "", "run as a distributed worker listening on host:port (serves coordinators forever; ignores the query flags)")
+		distAddrs    = flag.String("dist", "", "comma-separated worker addresses (host:port,...): distribute execution across them (results identical to local)")
+		costProfile  = flag.String("cost-profile", "", "JSON file with the learned per-row cost profile: read if present, rewritten after the run")
 	)
 	flag.Parse()
+	if *workerAddr != "" {
+		log.SetPrefix("iolap-worker ")
+		if err := dist.ListenAndServe(*workerAddr, dist.WorkerOptions{
+			Workers: *workers, Logf: log.Printf,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *interactive {
 		session, _, err := buildSession(*workloadName, *scale, *seed, *csvSpec, *iolSpec)
 		if err != nil {
@@ -65,12 +81,32 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workloadName, *scale, *queryName, *sqlText, *stream, *batches,
-		*trials, *slack, *seed, *mode, *csvSpec, *iolSpec, *stratify, *showPlan, *showStats,
-		*maxRows, *workers, *stateBudget); err != nil {
+	cfg := runConfig{
+		workload: *workloadName, scale: *scale, query: *queryName, sql: *sqlText,
+		stream: *stream, batches: *batches, trials: *trials, slack: *slack,
+		seed: *seed, mode: *mode, csvSpec: *csvSpec, iolSpec: *iolSpec,
+		stratify: *stratify, showPlan: *showPlan, showStats: *showStats,
+		maxRows: *maxRows, workers: *workers, stateBudget: *stateBudget,
+		distAddrs: *distAddrs, costProfile: *costProfile,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iolap:", err)
 		os.Exit(1)
 	}
+}
+
+// runConfig carries the non-interactive CLI flags into run.
+type runConfig struct {
+	workload, query, sql, stream    string
+	mode, csvSpec, iolSpec          string
+	stratify, distAddrs             string
+	costProfile                     string
+	scale, batches, trials, maxRows int
+	workers                         int
+	slack                           float64
+	seed                            uint64
+	stateBudget                     int64
+	showPlan, showStats             bool
 }
 
 // buildSession constructs the session from workload/csv/iol flags.
@@ -158,37 +194,36 @@ func repl(session *iolap.Session, opts *iolap.Options, in io.Reader, out io.Writ
 	}
 }
 
-func run(workloadName string, scale int, queryName, sqlText, stream string,
-	batches, trials int, slack float64, seed uint64, modeName, csvSpec, iolSpec, stratify string,
-	showPlan, showStats bool, maxRows, workers int, stateBudget int64) error {
+func run(cfg runConfig) error {
 	var session *iolap.Session
 	var queries []iolap.BenchQuery
 	switch {
-	case csvSpec != "":
+	case cfg.csvSpec != "":
 		s := iolap.NewSession()
-		if err := loadCSV(s, csvSpec); err != nil {
+		if err := loadCSV(s, cfg.csvSpec); err != nil {
 			return err
 		}
 		session = s
-	case iolSpec != "":
+	case cfg.iolSpec != "":
 		s := iolap.NewSession()
-		if err := loadIOL(s, iolSpec); err != nil {
+		if err := loadIOL(s, cfg.iolSpec); err != nil {
 			return err
 		}
 		session = s
-	case workloadName == "tpch":
-		session, queries = iolap.NewTPCHSession(scale, int64(seed))
-	case workloadName == "conviva":
-		session, queries = iolap.NewConvivaSession(scale, int64(seed))
+	case cfg.workload == "tpch":
+		session, queries = iolap.NewTPCHSession(cfg.scale, int64(cfg.seed))
+	case cfg.workload == "conviva":
+		session, queries = iolap.NewConvivaSession(cfg.scale, int64(cfg.seed))
 	default:
 		return fmt.Errorf("pick -workload tpch|conviva, -csv name=path, or -iol name=path")
 	}
 
-	query := sqlText
-	if queryName != "" {
+	query := cfg.sql
+	stream := cfg.stream
+	if cfg.query != "" {
 		found := false
 		for _, q := range queries {
-			if strings.EqualFold(q.Name, queryName) {
+			if strings.EqualFold(q.Name, cfg.query) {
 				query = q.SQL
 				if stream == "" {
 					stream = q.Stream
@@ -197,7 +232,7 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 			}
 		}
 		if !found {
-			return fmt.Errorf("unknown query %q", queryName)
+			return fmt.Errorf("unknown query %q", cfg.query)
 		}
 	}
 	if query == "" {
@@ -205,7 +240,7 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 	}
 
 	var mode iolap.Mode
-	switch strings.ToLower(modeName) {
+	switch strings.ToLower(cfg.mode) {
 	case "iolap":
 		mode = iolap.ModeIOLAP
 	case "opt1":
@@ -213,19 +248,31 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 	case "hda":
 		mode = iolap.ModeHDA
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
 
-	cur, err := session.Query(query, &iolap.Options{
-		Mode: mode, Batches: batches, Trials: trials, Slack: slack,
-		Seed: seed, Stream: stream, StratifyBy: stratify,
-		Workers: workers, StateBudgetBytes: stateBudget,
-	})
+	opts := &iolap.Options{
+		Mode: mode, Batches: cfg.batches, Trials: cfg.trials, Slack: cfg.slack,
+		Seed: cfg.seed, Stream: stream, StratifyBy: cfg.stratify,
+		Workers: cfg.workers, StateBudgetBytes: cfg.stateBudget,
+	}
+	if cfg.distAddrs != "" {
+		opts.DistWorkers = strings.Split(cfg.distAddrs, ",")
+	}
+	if cfg.costProfile != "" {
+		prof, err := loadCostProfile(cfg.costProfile)
+		if err != nil {
+			return err
+		}
+		opts.CostProfile = prof
+	}
+
+	cur, err := session.Query(query, opts)
 	if err != nil {
 		return err
 	}
 	defer cur.Close()
-	if showPlan {
+	if cfg.showPlan {
 		fmt.Println(cur.Plan())
 	}
 	for cur.Next() {
@@ -236,8 +283,11 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 		if u.SpillBytesWritten > 0 || u.SpillBytesRead > 0 {
 			fmt.Printf("    spill: %d B written, %d B read\n", u.SpillBytesWritten, u.SpillBytesRead)
 		}
-		printRows(u, maxRows)
-		if showStats {
+		if u.WireShuffleBytes > 0 || u.WireBroadcastBytes > 0 {
+			fmt.Printf("    wire: %d B shuffle, %d B broadcast\n", u.WireShuffleBytes, u.WireBroadcastBytes)
+		}
+		printRows(u, cfg.maxRows)
+		if cfg.showStats {
 			for _, st := range cur.OpStats() {
 				fmt.Printf("    [%-9s] news=%-7d unc=%-7d state=%dB spilled=%d\n",
 					st.Kind, st.News, st.Unc, st.StateBytes, st.SpilledRows)
@@ -250,7 +300,41 @@ func run(workloadName string, scale int, queryName, sqlText, stream string,
 	if n := cur.Recoveries(); n > 0 {
 		fmt.Printf("failure recoveries: %d\n", n)
 	}
+	if sh, bc := cur.WireStats(); sh > 0 || bc > 0 {
+		fmt.Printf("wire totals: %d B shuffle, %d B broadcast, %d workers live\n",
+			sh, bc, cur.DistLiveWorkers())
+	}
+	if cfg.costProfile != "" {
+		if err := saveCostProfile(cfg.costProfile, cur.CostSnapshot()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// loadCostProfile reads a -cost-profile JSON file; a missing file is an
+// empty profile (the run creates it on exit).
+func loadCostProfile(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var prof map[string]float64
+	if err := json.Unmarshal(data, &prof); err != nil {
+		return nil, fmt.Errorf("cost profile %s: %w", path, err)
+	}
+	return prof, nil
+}
+
+func saveCostProfile(path string, prof map[string]float64) error {
+	data, err := json.MarshalIndent(prof, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printRows(u *iolap.Update, maxRows int) { printRowsTo(os.Stdout, u, maxRows) }

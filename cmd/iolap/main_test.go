@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"iolap"
+	"iolap/internal/dist"
 )
 
 func TestSniffType(t *testing.T) {
@@ -95,24 +97,93 @@ func TestLoadCSVErrors(t *testing.T) {
 	}
 }
 
+// baseCfg is the tiny-workload smoke configuration the CLI tests vary.
+func baseCfg() runConfig {
+	return runConfig{
+		workload: "conviva", scale: 200, query: "C3", batches: 2, trials: 10,
+		slack: 2.0, seed: 1, mode: "iolap", maxRows: 3,
+	}
+}
+
 func TestRunWorkloadQuery(t *testing.T) {
 	// Smoke test: the CLI path end to end on a tiny built-in workload —
 	// once in memory, once with all join state forced through spill files.
-	err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0, 0)
+	if err := run(baseCfg()); err != nil {
+		t.Fatal(err)
+	}
+	spill := baseCfg()
+	spill.showStats = true
+	spill.stateBudget = -1
+	if err := run(spill); err != nil {
+		t.Fatalf("full-spill run: %v", err)
+	}
+	if err := run(runConfig{batches: 2, trials: 10, slack: 2.0, seed: 1, mode: "iolap", maxRows: 3}); err == nil {
+		t.Error("missing workload/csv must fail")
+	}
+	bad := baseCfg()
+	bad.query = "NOPE"
+	if err := run(bad); err == nil {
+		t.Error("unknown query must fail")
+	}
+	bad = baseCfg()
+	bad.mode = "badmode"
+	if err := run(bad); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestRunDistributed(t *testing.T) {
+	// End-to-end CLI path over real TCP: start two worker listeners (the
+	// body of `iolap -worker`), then run with -dist pointing at them.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go dist.Serve(l, dist.WorkerOptions{Workers: 1})
+		addrs[i] = l.Addr().String()
+	}
+	cfg := baseCfg()
+	cfg.distAddrs = strings.Join(addrs, ",")
+	if err := run(cfg); err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	// A dead address must fail the dial, not hang.
+	cfg.distAddrs = "127.0.0.1:1"
+	if err := run(cfg); err == nil {
+		t.Error("unreachable worker must fail")
+	}
+}
+
+func TestCostProfilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cost.json")
+	cfg := baseCfg()
+	cfg.costProfile = path
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := loadCostProfile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, true, 3, 0, -1); err != nil {
-		t.Fatalf("full-spill run: %v", err)
+	if len(prof) == 0 {
+		t.Fatal("profile file empty after run")
 	}
-	if err := run("", 0, "", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0, 0); err == nil {
-		t.Error("missing workload/csv must fail")
+	for name, v := range prof {
+		if v <= 0 {
+			t.Errorf("%s: non-positive per-row cost %v", name, v)
+		}
 	}
-	if err := run("conviva", 200, "NOPE", "", "", 2, 10, 2.0, 1, "iolap", "", "", "", false, false, 3, 0, 0); err == nil {
-		t.Error("unknown query must fail")
+	// Second run consumes the profile it wrote.
+	if err := run(cfg); err != nil {
+		t.Fatalf("seeded run: %v", err)
 	}
-	if err := run("conviva", 200, "C3", "", "", 2, 10, 2.0, 1, "badmode", "", "", "", false, false, 3, 0, 0); err == nil {
-		t.Error("unknown mode must fail")
+	// Corrupt profile fails loudly rather than silently cold-starting.
+	os.WriteFile(path, []byte("not json"), 0o644)
+	if err := run(cfg); err == nil {
+		t.Error("corrupt profile must fail")
 	}
 }
 

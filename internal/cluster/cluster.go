@@ -155,6 +155,9 @@ type Metrics struct {
 	broadcastEvents atomic.Int64
 	spillWritten    atomic.Int64
 	spillRead       atomic.Int64
+	spillProbeSkips atomic.Int64
+	wireShuffle     atomic.Int64
+	wireBroadcast   atomic.Int64
 }
 
 // RecordShuffle notes bytes that a hash repartition would ship.
@@ -216,6 +219,48 @@ func (m *Metrics) RecordSpillRead(n int) {
 	m.spillRead.Add(int64(n))
 }
 
+// RecordSpillProbeSkip notes a probe that the per-run min-max key filters
+// resolved without touching the spill index or disk: the shard holds spilled
+// rows, but no run's key range covers the probed key. The count is a pure
+// function of the probe multiset and the (deterministic) spill schedule, so
+// it is identical at every worker count.
+func (m *Metrics) RecordSpillProbeSkip() {
+	if m == nil {
+		return
+	}
+	m.spillProbeSkips.Add(1)
+}
+
+// SpillProbeSkips returns how many probes the min-max filters short-circuited.
+func (m *Metrics) SpillProbeSkips() int64 { return m.spillProbeSkips.Load() }
+
+// RecordWireShuffle notes bytes actually measured on a transport connection
+// carrying partition results toward the coordinator (the distributed
+// analogue of shuffle traffic). Unlike the modeled Record*Bytes counters,
+// wire counters report what a real deployment shipped, frame headers
+// included.
+func (m *Metrics) RecordWireShuffle(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.wireShuffle.Add(int64(n))
+}
+
+// RecordWireBroadcast notes measured bytes fanning out from the coordinator
+// to workers (setup, batch control, merged results).
+func (m *Metrics) RecordWireBroadcast(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.wireBroadcast.Add(int64(n))
+}
+
+// WireShuffleBytes returns measured worker-to-coordinator wire bytes.
+func (m *Metrics) WireShuffleBytes() int64 { return m.wireShuffle.Load() }
+
+// WireBroadcastBytes returns measured coordinator-to-worker wire bytes.
+func (m *Metrics) WireBroadcastBytes() int64 { return m.wireBroadcast.Load() }
+
 // SpillBytesWritten returns total bytes written to spill files.
 func (m *Metrics) SpillBytesWritten() int64 { return m.spillWritten.Load() }
 
@@ -249,4 +294,7 @@ func (m *Metrics) Reset() {
 	m.broadcastEvents.Store(0)
 	m.spillWritten.Store(0)
 	m.spillRead.Store(0)
+	m.spillProbeSkips.Store(0)
+	m.wireShuffle.Store(0)
+	m.wireBroadcast.Store(0)
 }

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCostSnapshotSeedRoundTrip checks that a profile exported by Snapshot
+// reproduces the model's state when seeded into a fresh one — the contract
+// the CLI's -cost-profile persistence relies on.
+func TestCostSnapshotSeedRoundTrip(t *testing.T) {
+	m := NewCostModel(0)
+	// Teach the model something the cold-start priors don't know.
+	m.Observe(CostSelect, 10_000, 5*time.Millisecond, 1)
+	m.Observe(CostJoinProbe, 10_000, 20*time.Millisecond, 1)
+	snap := m.Snapshot()
+	if len(snap) != int(numOpClasses) {
+		t.Fatalf("snapshot has %d classes, want %d", len(snap), numOpClasses)
+	}
+
+	fresh := NewCostModel(0)
+	fresh.Seed(snap)
+	for c := OpClass(0); c < numOpClasses; c++ {
+		if got, want := fresh.PerRowNs(c), m.PerRowNs(c); got != want {
+			t.Errorf("%v: seeded %v, want %v", c, got, want)
+		}
+		if got, want := fresh.Threshold(c), m.Threshold(c); got != want {
+			t.Errorf("%v: threshold %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestCostSeedRejectsGarbage: unknown names are ignored, non-positive values
+// cannot poison a class, and a nil model is safe.
+func TestCostSeedRejectsGarbage(t *testing.T) {
+	m := NewCostModel(0)
+	before := m.Snapshot()
+	m.Seed(map[string]float64{
+		"no-such-class": 123,
+		"select":        -5,
+		"join-probe":    0,
+	})
+	after := m.Snapshot()
+	for k, v := range before {
+		if after[k] != v {
+			t.Errorf("%s: changed %v -> %v by garbage profile", k, v, after[k])
+		}
+	}
+	var nilModel *CostModel
+	nilModel.Seed(map[string]float64{"select": 1}) // must not panic
+	if nilModel.Snapshot() != nil {
+		t.Error("nil model snapshot should be nil")
+	}
+}
+
+// TestCostSnapshotSeedPartialProfile: an old profile missing classes seeds
+// only the classes it names.
+func TestCostSnapshotSeedPartialProfile(t *testing.T) {
+	m := NewCostModel(0)
+	def := m.PerRowNs(CostSink)
+	m.Seed(map[string]float64{"select": 99.5})
+	if got := m.PerRowNs(CostSelect); got != 99.5 {
+		t.Errorf("select: %v, want 99.5", got)
+	}
+	if got := m.PerRowNs(CostSink); got != def {
+		t.Errorf("sink: %v, want untouched default %v", got, def)
+	}
+}

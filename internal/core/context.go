@@ -128,6 +128,16 @@ type Options struct {
 	SpillFS storage.FS
 	// SpillDir is the directory for spill files when SpillFS is nil.
 	SpillDir string
+	// Exchange connects the engine to a distributed transport
+	// (internal/dist): row-parallel operator sites ship contiguous spans to
+	// remote replicas and apply the merged results from identical bytes,
+	// bit-identical to local execution (see exchange.go and DESIGN.md §9).
+	// Nil (the default) means purely local execution.
+	Exchange Exchanger
+	// CostSeed seeds the adaptive cost model from a previous run's profile
+	// (Engine.CostSnapshot / the CLI -cost-profile file), replacing the
+	// cold-start priors. Scheduling only — never results.
+	CostSeed map[string]float64
 }
 
 func (o Options) withDefaults() Options {
@@ -201,6 +211,9 @@ type batchContext struct {
 	recomputed int // tuples recomputed this batch (Fig 8(e,f))
 	failures   []failure
 	pool       *cluster.Pool
+	// exch, when non-nil, distributes the row-parallel operator sites over
+	// remote replicas (see exchange.go). Nil means purely local execution.
+	exch Exchanger
 	// cost is the engine's adaptive cutover model (engine state shared by
 	// every batch, so the EWMA keeps learning across the run). The old
 	// design — a mutable package-level parThreshold the tests overwrote —

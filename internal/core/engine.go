@@ -53,6 +53,14 @@ type Update struct {
 	// back by probes. Local disk I/O, so not part of the data-shipped
 	// metric.
 	SpillBytesWritten, SpillBytesRead int64
+	// WireShuffleBytes / WireBroadcastBytes are bytes actually measured on
+	// transport connections by the distributed runtime this batch (frame
+	// headers included): worker→coordinator traffic is shuffle,
+	// coordinator→worker fan-out is broadcast. Zero for local runs. Unlike
+	// ShuffleBytes/BroadcastBytes — the modeled exchange volume, which is
+	// identical across local and distributed runs — these depend on the
+	// live worker set, so equivalence comparisons exclude them.
+	WireShuffleBytes, WireBroadcastBytes int64
 	// Recoveries counts failure-recovery events triggered this batch
 	// (variation-range integrity violations, Section 5.1, and failed spill
 	// enforcement).
@@ -107,6 +115,16 @@ type Engine struct {
 	// and removes on Close.
 	spill         *delta.SpillPolicy
 	spillDirOwned string
+
+	// exch is the distributed transport hook (nil for local execution).
+	exch Exchanger
+
+	// committed* accumulate exchange and spill traffic of successful
+	// attempts only: each batch's figures are measured per attempt and
+	// folded in once the attempt commits, so §5.1 replays never double-count
+	// (the totals always equal the sum of the per-batch Update figures).
+	committedShuffle, committedBroadcast      int64
+	committedSpillWritten, committedSpillRead int64
 
 	totalRecoveries int
 	lastBC          *batchContext
@@ -196,6 +214,8 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 	e.totalRows = src.Len()
 	e.pool = cluster.NewPool(opts.Workers)
 	e.cost = cluster.NewCostModel(opts.ParThreshold)
+	e.cost.Seed(opts.CostSeed)
+	e.exch = opts.Exchange
 	e.needSnapshots = comp.nested && opts.Mode != ModeHDA && opts.Trials > 0
 	e.base = e.takeSnapshot(0)
 	return e, nil
@@ -299,6 +319,7 @@ func (e *Engine) newBatchContext(deltaRows *rel.Relation, seenAfter int) *batchC
 		metrics: &e.metrics,
 		pool:    e.pool,
 		cost:    e.cost,
+		exch:    e.exch,
 	}
 }
 
@@ -316,15 +337,39 @@ func (e *Engine) mergeDeltas(from, to int) *rel.Relation {
 // recovery: on a variation-range integrity violation the state is restored
 // to the last consistent batch and the skipped batches are reprocessed as
 // one merged delta (Section 5.1).
-func (e *Engine) Step() (*Update, error) {
+func (e *Engine) Step() (u *Update, err error) {
 	if e.Done() {
 		return nil, fmt.Errorf("core: all %d batches processed", len(e.deltas))
 	}
+	// A transport failure surfaces from deep inside an operator site as a
+	// distPanic (operator signatures stay error-free); convert it into the
+	// batch error here. Anything else keeps panicking.
+	defer func() {
+		if r := recover(); r != nil {
+			dp, ok := r.(distPanic)
+			if !ok {
+				panic(r)
+			}
+			u, err = nil, dp.err
+		}
+	}()
 	start := time.Now()
-	shuffleBefore := e.metrics.ShuffleBytes()
-	broadcastBefore := e.metrics.BroadcastBytes()
-	spillWrittenBefore := e.metrics.SpillBytesWritten()
-	spillReadBefore := e.metrics.SpillBytesRead()
+	// Exchange and spill baselines are re-read at the start of every
+	// attempt, so the per-batch Update figures — and through them the
+	// committed totals — cover the successful attempt only. Measuring from
+	// the start of the step would count a failed attempt's traffic once in
+	// this batch and again when the replay re-ships it.
+	var shuffleBefore, broadcastBefore, spillWrittenBefore, spillReadBefore int64
+	markAttempt := func() {
+		shuffleBefore = e.metrics.ShuffleBytes()
+		broadcastBefore = e.metrics.BroadcastBytes()
+		spillWrittenBefore = e.metrics.SpillBytesWritten()
+		spillReadBefore = e.metrics.SpillBytesRead()
+	}
+	var wireShuffleBefore, wireBroadcastBefore int64
+	if e.exch != nil {
+		wireShuffleBefore, wireBroadcastBefore = e.exch.WireStats()
+	}
 	// Snapshot the pre-batch state for recovery. Queries that track no
 	// variation ranges can never fail an integrity check, so they skip
 	// the snapshot cost entirely.
@@ -343,6 +388,7 @@ func (e *Engine) Step() (*Update, error) {
 	d := e.deltas[e.batch-1]
 	e.seenRows += d.Len()
 	bc := e.newBatchContext(d, e.seenRows)
+	markAttempt()
 	if _, err := e.comp.sink.step(bc); err != nil {
 		return nil, err
 	}
@@ -410,13 +456,14 @@ func (e *Engine) Step() (*Update, error) {
 		merged := e.mergeDeltas(j, e.batch)
 		e.seenRows += merged.Len()
 		bc = e.newBatchContext(merged, e.seenRows)
+		markAttempt()
 		if _, err := e.comp.sink.step(bc); err != nil {
 			return nil, err
 		}
 	}
 	e.lastBC = bc
 	result, ests := e.comp.sink.materialize(bc)
-	u := &Update{
+	u = &Update{
 		Batch:             e.batch,
 		Batches:           len(e.deltas),
 		Fraction:          float64(e.seenRows) / float64(max(1, e.totalRows)),
@@ -431,6 +478,15 @@ func (e *Engine) Step() (*Update, error) {
 		SpillBytesRead:    e.metrics.SpillBytesRead() - spillReadBefore,
 		Recoveries:        recoveries,
 		RecoveredFrom:     recoveredFrom,
+	}
+	e.committedShuffle += u.ShuffleBytes
+	e.committedBroadcast += u.BroadcastBytes
+	e.committedSpillWritten += u.SpillBytesWritten
+	e.committedSpillRead += u.SpillBytesRead
+	if e.exch != nil {
+		ws, wb := e.exch.WireStats()
+		u.WireShuffleBytes = ws - wireShuffleBefore
+		u.WireBroadcastBytes = wb - wireBroadcastBefore
 	}
 	for _, op := range e.comp.ops {
 		if op.kind() == "join" {
@@ -468,19 +524,38 @@ func (e *Engine) Run() ([]*Update, error) {
 	return out, nil
 }
 
-// TotalShuffleBytes returns cumulative repartition traffic.
-func (e *Engine) TotalShuffleBytes() int64 { return e.metrics.ShuffleBytes() }
+// TotalShuffleBytes returns cumulative repartition traffic. Totals cover
+// committed (successful) attempts only, so they equal the sum of the
+// per-batch Update figures and never double-count a §5.1 replay.
+func (e *Engine) TotalShuffleBytes() int64 { return e.committedShuffle }
 
 // TotalExchangeBytes returns cumulative exchange traffic of both kinds
 // (shuffle + broadcast) — the Fig 9(c)/10(d) "data shipped" total.
-func (e *Engine) TotalExchangeBytes() int64 { return e.metrics.TotalBytes() }
+// Committed attempts only (see TotalShuffleBytes).
+func (e *Engine) TotalExchangeBytes() int64 { return e.committedShuffle + e.committedBroadcast }
 
-// TotalSpillBytesWritten returns cumulative bytes evicted to spill files.
-func (e *Engine) TotalSpillBytesWritten() int64 { return e.metrics.SpillBytesWritten() }
+// TotalSpillBytesWritten returns cumulative bytes evicted to spill files by
+// committed attempts.
+func (e *Engine) TotalSpillBytesWritten() int64 { return e.committedSpillWritten }
 
-// TotalSpillBytesRead returns cumulative bytes probes read back from spill
-// files.
-func (e *Engine) TotalSpillBytesRead() int64 { return e.metrics.SpillBytesRead() }
+// TotalSpillBytesRead returns cumulative bytes probes of committed attempts
+// read back from spill files.
+func (e *Engine) TotalSpillBytesRead() int64 { return e.committedSpillRead }
+
+// CostSnapshot exports the adaptive cost model's per-class estimates for
+// persisting across runs (the CLI -cost-profile file; Options.CostSeed on
+// the next run).
+func (e *Engine) CostSnapshot() map[string]float64 { return e.cost.Snapshot() }
+
+// WireStats returns the cumulative measured transport traffic of a
+// distributed run (zero for local engines): worker→coordinator bytes as
+// shuffle, coordinator→worker bytes as broadcast.
+func (e *Engine) WireStats() (shuffle, broadcast int64) {
+	if e.exch == nil {
+		return 0, 0
+	}
+	return e.exch.WireStats()
+}
 
 // SpilledRows returns the join-state rows currently living on disk.
 func (e *Engine) SpilledRows() int { return e.spill.SpilledRows() }

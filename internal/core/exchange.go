@@ -1,0 +1,241 @@
+// Distributed-site plumbing: the Exchanger seam the internal/dist transport
+// plugs into, plus the span codecs for the three row-parallel operator sites
+// that ship work across process boundaries.
+//
+// The execution model is SPMD replica lockstep: every participant
+// (coordinator and each remote worker) holds a full deterministic engine
+// replica and steps the same mini-batches in the same order. Aggregation and
+// all other state transitions are replicated — identical inputs, identical
+// fold order, identical floats — while the embarrassingly row-parallel sites
+// (SELECT classification, join probe, sink materialisation) are partitioned:
+// each participant computes one contiguous span of the site, the spans are
+// collected and merged in span order, and the merged byte payloads are
+// applied identically on every replica. Because span boundaries are a pure
+// function of (n, participant count) — the same i·n/p arithmetic as
+// cluster.Pool.MapChunks — and the codecs round-trip values bit-exactly,
+// distributed output is bit-identical to the local Workers=1 run (the
+// DESIGN.md §7 invariant extended across machines; see DESIGN.md §9).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/cluster"
+	"iolap/internal/delta"
+	"iolap/internal/expr"
+	"iolap/internal/rel"
+	"iolap/internal/storage"
+)
+
+// Exchanger connects an engine to a distributed transport. Implementations
+// live in internal/dist (the interface is defined here so core does not
+// import its own transport).
+//
+// Exchange runs one distributed site over n logical rows: compute(lo, hi)
+// encodes the caller's result for one contiguous span, and merge(lo, hi,
+// payload) applies one span's encoded result. The implementation must call
+// merge exactly once per span, sequentially, in ascending span order, with
+// the spans exactly covering [0, n) — that contract is what lets operator
+// sites append merged rows and know the result equals the sequential loop.
+// Every replica must apply the same payload bytes for the same span.
+type Exchanger interface {
+	Exchange(class cluster.OpClass, n int, compute func(lo, hi int) ([]byte, error), merge func(lo, hi int, payload []byte) error) error
+	// MinRows is the smallest site worth shipping: below it the per-span
+	// round-trip dominates and every replica computes the site locally
+	// (deterministically — the gate depends only on n, never on clocks).
+	MinRows() int
+	// WireStats returns cumulative measured wire traffic: bytes received
+	// from peers (shuffle) and bytes sent to peers (broadcast).
+	WireStats() (shuffle, broadcast int64)
+}
+
+// distPanic aborts a batch from inside an operator when the transport fails.
+// Operator signatures stay error-free (sites are deep inside pure compute
+// paths); Engine.Step recovers the panic and surfaces it as the batch error.
+type distPanic struct{ err error }
+
+// distSite reports whether a site of n rows runs through the exchanger.
+// Deterministic across replicas: every participant evaluates the same n
+// against the same MinRows, so they agree on the exchange call sequence.
+func (bc *batchContext) distSite(n int) bool {
+	return bc.exch != nil && n >= bc.exch.MinRows()
+}
+
+// exchange runs a distributed site, converting transport failure into a
+// batch abort.
+func (bc *batchContext) exchange(class cluster.OpClass, n int, compute func(lo, hi int) ([]byte, error), merge func(lo, hi int, payload []byte) error) {
+	if err := bc.exch.Exchange(class, n, compute, merge); err != nil {
+		panic(distPanic{fmt.Errorf("core: distributed %v site (%d rows): %w", class, n, err)})
+	}
+}
+
+// spanChunks runs fill over [lo, hi) — the replica's local share of a
+// distributed site — fanning out over the local pool when the span alone
+// clears the class cutover. Slot-indexed fills keep it order-independent.
+func (bc *batchContext) spanChunks(c cluster.OpClass, lo, hi int, fill func(lo, hi int)) {
+	n := hi - lo
+	if bc.fanout(c, n) {
+		bc.pool.MapChunks(n, func(_, a, b int) { fill(lo+a, lo+b) })
+	} else if n > 0 {
+		fill(lo, hi)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Span codecs. All decoders validate the full payload before mutating the
+// caller's buffers, so a corrupt span from a failing worker can be recomputed
+// without unwinding a partial merge.
+
+// encodeVerdictSpan packs selVerdicts one byte per row: the tri-state in the
+// low two bits, the current-value pass bit above.
+func encodeVerdictSpan(vs []selVerdict, lo, hi int) []byte {
+	out := make([]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		b := byte(vs[i].tri) & 3
+		if vs[i].pass {
+			b |= 4
+		}
+		out[i-lo] = b
+	}
+	return out
+}
+
+func decodeVerdictSpan(vs []selVerdict, lo, hi int, p []byte) error {
+	if len(p) != hi-lo {
+		return fmt.Errorf("core: verdict span [%d,%d): got %d bytes", lo, hi, len(p))
+	}
+	for i, b := range p {
+		if b > 7 {
+			return fmt.Errorf("core: verdict span: bad verdict byte %#x", b)
+		}
+		vs[lo+i] = selVerdict{tri: expr.Tri(b & 3), pass: b&4 != 0}
+	}
+	return nil
+}
+
+// encodeBoolSpan packs one byte per row (0/1).
+func encodeBoolSpan(pass []bool, lo, hi int) []byte {
+	out := make([]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		if pass[i] {
+			out[i-lo] = 1
+		}
+	}
+	return out
+}
+
+func decodeBoolSpan(pass []bool, lo, hi int, p []byte) error {
+	if len(p) != hi-lo {
+		return fmt.Errorf("core: bool span [%d,%d): got %d bytes", lo, hi, len(p))
+	}
+	for i, b := range p {
+		if b > 1 {
+			return fmt.Errorf("core: bool span: bad byte %#x", b)
+		}
+		pass[lo+i] = b == 1
+	}
+	return nil
+}
+
+// encodeRowSpan frames a probe span's joined rows with the storage spill-row
+// codec (bit-exact floats, lineage refs included): a row count followed by
+// the length-prefixed rows.
+func encodeRowSpan(rows []delta.Row) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(rows)))
+	var err error
+	for _, r := range rows {
+		out, err = storage.AppendSpillRow(out, r.Vals, r.Mult, r.W)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeRowSpan(p []byte) ([]delta.Row, error) {
+	n, k := binary.Uvarint(p)
+	if k <= 0 {
+		return nil, fmt.Errorf("core: row span: bad count")
+	}
+	p = p[k:]
+	rows := make([]delta.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		vals, mult, w, sz, err := storage.DecodeSpillRow(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: row span: %w", err)
+		}
+		rows = append(rows, delta.Row{Vals: vals, Mult: mult, W: w})
+		p = p[sz:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("core: row span: %d trailing bytes", len(p))
+	}
+	return rows, nil
+}
+
+// encodeSinkSpan frames materialised result tuples with their bootstrap
+// estimates: per row, the tuple as a spill row (final multiplicity baked in)
+// followed by width estimates of five float64 bit patterns each.
+func encodeSinkSpan(res *rel.Relation, ests [][]bootstrap.Estimate, lo, hi, width int) ([]byte, error) {
+	var out []byte
+	var err error
+	for i := lo; i < hi; i++ {
+		out, err = storage.AppendSpillRow(out, res.Tuples[i].Vals, res.Tuples[i].Mult, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ests[i] {
+			out = appendF64(out, e.Value)
+			out = appendF64(out, e.Stdev)
+			out = appendF64(out, e.CILo)
+			out = appendF64(out, e.CIHi)
+			out = appendF64(out, e.RelStd)
+		}
+	}
+	return out, nil
+}
+
+func decodeSinkSpan(res *rel.Relation, ests [][]bootstrap.Estimate, lo, hi, width int, p []byte) error {
+	tuples := make([]rel.Tuple, hi-lo)
+	rowEsts := make([][]bootstrap.Estimate, hi-lo)
+	for i := 0; i < hi-lo; i++ {
+		vals, mult, _, sz, err := storage.DecodeSpillRow(p)
+		if err != nil {
+			return fmt.Errorf("core: sink span: %w", err)
+		}
+		p = p[sz:]
+		tuples[i] = rel.Tuple{Vals: vals, Mult: mult}
+		re := make([]bootstrap.Estimate, width)
+		for j := 0; j < width; j++ {
+			if len(p) < 40 {
+				return fmt.Errorf("core: sink span: truncated estimates")
+			}
+			re[j] = bootstrap.Estimate{
+				Value:  takeF64(p[0:]),
+				Stdev:  takeF64(p[8:]),
+				CILo:   takeF64(p[16:]),
+				CIHi:   takeF64(p[24:]),
+				RelStd: takeF64(p[32:]),
+			}
+			p = p[40:]
+		}
+		rowEsts[i] = re
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("core: sink span: %d trailing bytes", len(p))
+	}
+	copy(res.Tuples[lo:hi], tuples)
+	copy(ests[lo:hi], rowEsts)
+	return nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func takeF64(p []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(p))
+}

@@ -203,6 +203,17 @@ func (o *opSelect) classifyAll(rows []delta.Row, bc *batchContext, regen bool) [
 			vs[i] = v
 		}
 	}
+	if bc.distSite(len(rows)) {
+		// Distributed site: each replica classifies one contiguous span and
+		// every replica applies the merged verdict bytes for all spans.
+		bc.exchange(cluster.CostSelect, len(rows),
+			func(lo, hi int) ([]byte, error) {
+				bc.spanChunks(cluster.CostSelect, lo, hi, fill)
+				return encodeVerdictSpan(vs, lo, hi), nil
+			},
+			func(lo, hi int, p []byte) error { return decodeVerdictSpan(vs, lo, hi, p) })
+		return vs
+	}
 	bc.mapChunks(cluster.CostSelect, len(rows), fill)
 	return vs
 }
@@ -215,6 +226,15 @@ func (o *opSelect) filterAll(rows []delta.Row, bc *batchContext) []bool {
 		for i := lo; i < hi; i++ {
 			pass[i] = evalTrue(o.node.Pred, rows[i], bc)
 		}
+	}
+	if bc.distSite(len(rows)) {
+		bc.exchange(cluster.CostSelect, len(rows),
+			func(lo, hi int) ([]byte, error) {
+				bc.spanChunks(cluster.CostSelect, lo, hi, fill)
+				return encodeBoolSpan(pass, lo, hi), nil
+			},
+			func(lo, hi int, p []byte) error { return decodeBoolSpan(pass, lo, hi, p) })
+		return pass
 	}
 	bc.mapChunks(cluster.CostSelect, len(rows), fill)
 	return pass
@@ -479,33 +499,60 @@ func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, 
 		}
 		return o.joinRows(m, p)
 	}
-	if !bc.fanout(cluster.CostJoinProbe, len(probe)) {
-		bc.cost.Timed(cluster.CostJoinProbe, len(probe), 1, func() {
-			for _, p := range probe {
-				for _, m := range store.Probe(p.Vals, probeKeys) {
-					dst = append(dst, join(p, m))
+	// probeSpan probes rows [lo, hi) and returns the matches in probe order
+	// (per-chunk buffers concatenated in chunk order — identical to the
+	// sequential nested loop over the span).
+	probeSpan := func(lo, hi int) []delta.Row {
+		n := hi - lo
+		if !bc.fanout(cluster.CostJoinProbe, n) {
+			var buf []delta.Row
+			bc.cost.Timed(cluster.CostJoinProbe, n, 1, func() {
+				for i := lo; i < hi; i++ {
+					p := probe[i]
+					for _, m := range store.Probe(p.Vals, probeKeys) {
+						buf = append(buf, join(p, m))
+					}
 				}
-			}
+			})
+			return buf
+		}
+		outs := make([][]delta.Row, bc.pool.Chunks(n))
+		bc.cost.Timed(cluster.CostJoinProbe, n, bc.pool.Workers(), func() {
+			bc.pool.MapChunks(n, func(c, a, b int) {
+				var buf []delta.Row
+				for i := lo + a; i < lo+b; i++ {
+					p := probe[i]
+					for _, m := range store.Probe(p.Vals, probeKeys) {
+						buf = append(buf, join(p, m))
+					}
+				}
+				outs[c] = buf
+			})
 		})
+		var buf []delta.Row
+		for _, b := range outs {
+			buf = append(buf, b...)
+		}
+		return buf
+	}
+	if bc.distSite(len(probe)) {
+		// Distributed shard shipping: each replica probes one span, the
+		// joined rows travel as spill-codec payloads, and every replica
+		// appends the merged spans in span order — the same ordered merge,
+		// across machines.
+		bc.exchange(cluster.CostJoinProbe, len(probe),
+			func(lo, hi int) ([]byte, error) { return encodeRowSpan(probeSpan(lo, hi)) },
+			func(lo, hi int, p []byte) error {
+				rows, err := decodeRowSpan(p)
+				if err != nil {
+					return err
+				}
+				dst = append(dst, rows...)
+				return nil
+			})
 		return dst
 	}
-	outs := make([][]delta.Row, bc.pool.Chunks(len(probe)))
-	bc.cost.Timed(cluster.CostJoinProbe, len(probe), bc.pool.Workers(), func() {
-		bc.pool.MapChunks(len(probe), func(c, lo, hi int) {
-			var buf []delta.Row
-			for i := lo; i < hi; i++ {
-				p := probe[i]
-				for _, m := range store.Probe(p.Vals, probeKeys) {
-					buf = append(buf, join(p, m))
-				}
-			}
-			outs[c] = buf
-		})
-	})
-	for _, b := range outs {
-		dst = append(dst, b...)
-	}
-	return dst
+	return append(dst, probeSpan(0, len(probe))...)
 }
 
 func (o *opJoin) step(bc *batchContext) (output, error) {
@@ -707,6 +754,25 @@ func (o *opSink) materialize(bc *batchContext) (*rel.Relation, [][]bootstrap.Est
 		}
 		res.Tuples[idx] = rel.Tuple{Vals: vals, Mult: r.Mult * scale}
 		ests[idx] = rowEst
+	}
+	if bc.distSite(len(rows)) {
+		// Distributed site: each replica materialises one span (tuples and
+		// bootstrap estimates), and every replica applies the merged spans
+		// from the same bytes — so the delivered result, including estimate
+		// bit patterns, is identical on all replicas.
+		bc.exchange(cluster.CostSink, len(rows),
+			func(lo, hi int) ([]byte, error) {
+				bc.spanChunks(cluster.CostSink, lo, hi, func(a, b int) {
+					for i := a; i < b; i++ {
+						emit(i)
+					}
+				})
+				return encodeSinkSpan(res, ests, lo, hi, len(o.exprs))
+			},
+			func(lo, hi int, p []byte) error {
+				return decodeSinkSpan(res, ests, lo, hi, len(o.exprs), p)
+			})
+		return res, ests
 	}
 	if bc.pool != nil && len(rows) >= 64 && bc.trials > 0 {
 		bc.pool.Map(len(rows), emit)

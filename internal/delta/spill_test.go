@@ -385,3 +385,71 @@ func TestAddBatchParallelMatchesSequentialUnderSpill(t *testing.T) {
 			h.Len(), h.SizeBytes(), seq.Len(), seq.SizeBytes())
 	}
 }
+
+// TestMinMaxFilterSkipsAbsentKeys: probing a key outside every spill run's
+// [min,max] key range must answer from memory alone — counted as a spill
+// probe skip, with no disk read — while present keys still read their runs.
+func TestMinMaxFilterSkipsAbsentKeys(t *testing.T) {
+	h, p, m := newSpillStore(t, 0)
+	p.Advance(1)
+	for k := 100; k < 120; k++ {
+		h.Add(keyInt(k, k))
+	}
+	if err := p.Enforce(); err != nil {
+		t.Fatal(err)
+	}
+	if h.SpilledRows() == 0 {
+		t.Fatal("zero budget should have spilled everything")
+	}
+
+	// Present keys pass the filter and read their runs.
+	readBefore := m.SpillBytesRead()
+	for k := 100; k < 120; k++ {
+		if got := probeKey(h, k); len(got) != 1 {
+			t.Fatalf("key %d: %d rows, want 1", k, len(got))
+		}
+	}
+	if m.SpillBytesRead() == readBefore {
+		t.Fatal("present keys should have read spill runs")
+	}
+	if m.SpillProbeSkips() != 0 {
+		t.Fatalf("present keys recorded %d skips", m.SpillProbeSkips())
+	}
+
+	// Hunt for absent keys whose encoding lands in a spilled shard but
+	// outside its run ranges: the filter must cut them off before the run
+	// index, recording a skip and reading nothing.
+	readBefore = m.SpillBytesRead()
+	filtered := 0
+	for k := 100000; k < 101000 && filtered < 5; k++ {
+		enc := rel.EncodeKey([]rel.Value{rel.Int(int64(k))}, []int{0})
+		sh := &h.shards[shardOf(enc)]
+		if sh.onDisk == 0 || sh.covers(enc) {
+			continue
+		}
+		if got := probeKey(h, k); len(got) != 0 {
+			t.Fatalf("absent key %d returned %d rows", k, len(got))
+		}
+		filtered++
+	}
+	if filtered == 0 {
+		t.Fatal("no probe key fell outside the min-max ranges; fixture too narrow")
+	}
+	if got := m.SpillProbeSkips(); got != int64(filtered) {
+		t.Fatalf("skips: %d, want %d", got, filtered)
+	}
+	if m.SpillBytesRead() != readBefore {
+		t.Fatal("min-max filtered probes must not touch disk")
+	}
+
+	// The filter is also range-correct: after a restore that empties the
+	// disk side, stale ranges must not linger.
+	snap := h.Snapshot()
+	h.Restore(snap)
+	for s := range h.shards {
+		if h.shards[s].onDisk == 0 && h.shards[s].ranges != nil {
+			// Ranges may stay as a superset only while rows remain on disk.
+			t.Fatalf("shard %d: empty disk side kept %d stale ranges", s, len(h.shards[s].ranges))
+		}
+	}
+}

@@ -118,10 +118,32 @@ const storeShards = 16
 type shard struct {
 	hot     map[string][]Row
 	spilled map[string][]spillRef // nil until the shard first spills
-	mem     int                   // resident bytes of hot rows
-	disk    int                   // logical bytes of spilled rows
-	onDisk  int                   // spilled row count
-	lastAdd int                   // policy epoch of the last insert (coldness)
+	// ranges holds one min-max key filter per spill run (eviction event):
+	// runs encode keys in sorted order, so the first and last key bound
+	// everything in the run. A probe whose key falls outside every range
+	// cannot match any spilled row and skips the run index entirely. Ranges
+	// are only ever a superset of the live runs (Restore keeps them as-is
+	// while runs remain), which can cost a skip but never correctness.
+	ranges  []keyRange
+	mem     int // resident bytes of hot rows
+	disk    int // logical bytes of spilled rows
+	onDisk  int // spilled row count
+	lastAdd int // policy epoch of the last insert (coldness)
+}
+
+// keyRange is one spill run's [min, max] encoded-key interval.
+type keyRange struct {
+	min, max string
+}
+
+// covers reports whether any run's key range could contain k.
+func (sh *shard) covers(k string) bool {
+	for _, r := range sh.ranges {
+		if k >= r.min && k <= r.max {
+			return true
+		}
+	}
+	return false
 }
 
 // HashStore is a join side's accumulated certain rows, hashed by join key
@@ -246,6 +268,18 @@ func (h *HashStore) Probe(probeVals []rel.Value, probeKeys []int) []Row {
 	s := shardOf(k)
 	sh := &h.shards[s]
 	hot := sh.hot[k]
+	if sh.onDisk == 0 {
+		return hot
+	}
+	if !sh.covers(k) {
+		// Min-max filtered: the key is outside every run's range, so no
+		// spilled row can match. Counted so the experiments can report how
+		// often the filters save the run-index walk.
+		if h.sp != nil {
+			h.sp.policy.metrics.RecordSpillProbeSkip()
+		}
+		return hot
+	}
 	refs := sh.spilled[k]
 	if len(refs) == 0 {
 		return hot
@@ -419,6 +453,11 @@ func (h *HashStore) restoreShard(s int, snap *HashSnap) {
 			sh.disk += int(ref.bytes)
 			sh.onDisk += ref.n
 		}
+	}
+	if sh.onDisk == 0 {
+		// No spilled rows survive; drop the stale min-max filters (while
+		// runs remain, the ranges stay as a superset, which is always safe).
+		sh.ranges = nil
 	}
 	if h.sp != nil {
 		h.sp.truncateTo(s, maxEnd)

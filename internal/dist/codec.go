@@ -1,0 +1,283 @@
+// Message payload codecs. Everything a worker needs to build its engine
+// replica travels in one Setup frame: the engine options that affect results,
+// the SQL text, and the full serialized tables (rows framed with the
+// internal/storage spill-row codec, which round-trips values — float bit
+// patterns included — exactly). Scheduling-only options (Workers,
+// ParThreshold, the spill budget) are deliberately not shipped: they affect
+// placement, never results, so each participant picks its own.
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"iolap/internal/core"
+	"iolap/internal/exec"
+	"iolap/internal/rel"
+	"iolap/internal/storage"
+)
+
+// setupMsg is the decoded msgSetup payload.
+type setupMsg struct {
+	rank    int // this worker's participant rank (1-based; 0 is the coordinator)
+	minRows int
+	opts    core.Options
+	sqlText string
+	tables  []tableData
+}
+
+// tableData is one serialized table: its catalog entry plus contents.
+type tableData struct {
+	name     string
+	streamed bool
+	rel      *rel.Relation
+}
+
+// encodeSetup serializes the replica blueprint for one worker. Tables are
+// emitted in exec.DB.Tables() order (sorted), so every worker sees the same
+// catalog construction order.
+func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.DB, streamed map[string]bool) ([]byte, error) {
+	p := appendUvarint(nil, protoVersion)
+	p = appendUvarint(p, uint64(rank))
+	p = appendUvarint(p, uint64(minRows))
+
+	p = appendVarint(p, int64(opts.Mode))
+	p = appendVarint(p, int64(opts.Batches))
+	p = appendVarint(p, int64(opts.Trials)) // negative means "bootstrap off"
+	p = appendU64(p, math.Float64bits(opts.Slack))
+	p = appendU64(p, opts.Seed)
+	p = appendVarint(p, int64(opts.SnapshotKeep))
+	p = appendVarint(p, int64(opts.MinRangeSupport))
+	p = appendBool(p, opts.PreShuffle)
+	p = appendBool(p, opts.NoViewletRewrites)
+	p = appendVarint(p, int64(opts.BlockRows))
+	p = appendString(p, opts.StratifyBy)
+
+	p = appendString(p, sqlText)
+
+	names := db.Tables()
+	p = appendUvarint(p, uint64(len(names)))
+	for _, name := range names {
+		r, ok := db.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("dist: table %q vanished during setup", name)
+		}
+		p = appendString(p, name)
+		p = appendBool(p, streamed[name])
+		p = appendUvarint(p, uint64(len(r.Schema)))
+		for _, c := range r.Schema {
+			p = appendString(p, c.Table)
+			p = appendString(p, c.Name)
+			p = append(p, byte(c.Type))
+		}
+		p = appendUvarint(p, uint64(len(r.Tuples)))
+		var err error
+		for _, t := range r.Tuples {
+			p, err = storage.AppendSpillRow(p, t.Vals, t.Mult, nil)
+			if err != nil {
+				return nil, fmt.Errorf("dist: serialize table %q: %w", name, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+func decodeSetup(p []byte) (*setupMsg, error) {
+	r := &reader{b: p}
+	if v := r.uvarint("version"); r.err == nil && v != protoVersion {
+		return nil, fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker %d", v, protoVersion)
+	}
+	s := &setupMsg{
+		rank:    int(r.uvarint("rank")),
+		minRows: int(r.uvarint("minRows")),
+	}
+	s.opts.Mode = core.Mode(r.varint("mode"))
+	s.opts.Batches = int(r.varint("batches"))
+	s.opts.Trials = int(r.varint("trials"))
+	s.opts.Slack = math.Float64frombits(r.u64("slack"))
+	s.opts.Seed = r.u64("seed")
+	s.opts.SnapshotKeep = int(r.varint("snapshotKeep"))
+	s.opts.MinRangeSupport = int(r.varint("minRangeSupport"))
+	s.opts.PreShuffle = r.boolean("preShuffle")
+	s.opts.NoViewletRewrites = r.boolean("noViewletRewrites")
+	s.opts.BlockRows = int(r.varint("blockRows"))
+	s.opts.StratifyBy = r.str("stratifyBy")
+	s.sqlText = r.str("sql")
+
+	nt := r.count("table count")
+	for i := 0; i < nt && r.err == nil; i++ {
+		var t tableData
+		t.name = r.str("table name")
+		t.streamed = r.boolean("table streamed")
+		nc := r.count("column count")
+		schema := make(rel.Schema, 0, nc)
+		for j := 0; j < nc && r.err == nil; j++ {
+			col := rel.Column{Table: r.str("column table"), Name: r.str("column name")}
+			col.Type = rel.Kind(r.byteVal("column kind"))
+			schema = append(schema, col)
+		}
+		nr := int(r.uvarint("row count"))
+		rln := rel.NewRelation(schema)
+		for j := 0; j < nr && r.err == nil; j++ {
+			vals, mult, _, sz, err := storage.DecodeSpillRow(r.b)
+			if err != nil {
+				r.err = fmt.Errorf("dist: table %q row %d: %w", t.name, j, err)
+				break
+			}
+			r.b = r.b[sz:]
+			rln.Tuples = append(rln.Tuples, rel.Tuple{Vals: vals, Mult: mult})
+		}
+		t.rel = rln
+		s.tables = append(s.tables, t)
+	}
+	if err := r.done("setup"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeStep freezes a batch's membership: the batch number plus the ranks of
+// every worker the coordinator believes alive. Workers derive their span from
+// their position in this list; the coordinator uses the identical list even
+// for workers that die mid-batch (their spans are re-dispatched, the
+// assignment never shifts).
+func encodeStep(batch int, liveRanks []int) []byte {
+	p := appendUvarint(nil, uint64(batch))
+	p = appendUvarint(p, uint64(len(liveRanks)))
+	for _, rk := range liveRanks {
+		p = appendUvarint(p, uint64(rk))
+	}
+	return p
+}
+
+func decodeStep(p []byte) (batch int, liveRanks []int, err error) {
+	r := &reader{b: p}
+	batch = int(r.uvarint("batch"))
+	n := r.count("live count")
+	liveRanks = make([]int, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		liveRanks = append(liveRanks, int(r.uvarint("live rank")))
+	}
+	return batch, liveRanks, r.done("step")
+}
+
+// spanMsg is one computed span: seq orders the exchange calls within a batch
+// so a frame from the wrong site can never be merged.
+type spanMsg struct {
+	seq     uint64
+	lo, hi  int
+	payload []byte
+}
+
+func encodeSpan(seq uint64, lo, hi int, payload []byte) []byte {
+	p := appendUvarint(nil, seq)
+	p = appendUvarint(p, uint64(lo))
+	p = appendUvarint(p, uint64(hi))
+	return append(p, payload...)
+}
+
+func decodeSpan(p []byte) (spanMsg, error) {
+	r := &reader{b: p}
+	sm := spanMsg{
+		seq: r.uvarint("seq"),
+		lo:  int(r.uvarint("lo")),
+		hi:  int(r.uvarint("hi")),
+	}
+	if r.err != nil {
+		return spanMsg{}, r.err
+	}
+	sm.payload = r.b
+	return sm, nil
+}
+
+func encodeCompute(seq uint64, lo, hi int) []byte {
+	p := appendUvarint(nil, seq)
+	p = appendUvarint(p, uint64(lo))
+	return appendUvarint(p, uint64(hi))
+}
+
+func decodeCompute(p []byte) (seq uint64, lo, hi int, err error) {
+	r := &reader{b: p}
+	seq = r.uvarint("seq")
+	lo = int(r.uvarint("lo"))
+	hi = int(r.uvarint("hi"))
+	return seq, lo, hi, r.done("compute")
+}
+
+// encodeMerged carries the complete merged site: every span's payload in
+// ascending span order. All replicas — the coordinator included — apply these
+// identical bytes, which is the bit-identity argument in one sentence.
+func encodeMerged(seq uint64, spans [][2]int, payloads [][]byte) []byte {
+	p := appendUvarint(nil, seq)
+	p = appendUvarint(p, uint64(len(spans)))
+	for i, sp := range spans {
+		p = appendUvarint(p, uint64(sp[0]))
+		p = appendUvarint(p, uint64(sp[1]))
+		p = appendUvarint(p, uint64(len(payloads[i])))
+		p = append(p, payloads[i]...)
+	}
+	return p
+}
+
+func decodeMerged(p []byte) (seq uint64, spans []spanMsg, err error) {
+	r := &reader{b: p}
+	seq = r.uvarint("seq")
+	n := r.count("span count")
+	spans = make([]spanMsg, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		sm := spanMsg{seq: seq}
+		sm.lo = int(r.uvarint("merged lo"))
+		sm.hi = int(r.uvarint("merged hi"))
+		sm.payload = r.bytes("merged payload")
+		spans = append(spans, sm)
+	}
+	return seq, spans, r.done("merged")
+}
+
+func encodeBatchDone(batch int, digest uint64) []byte {
+	p := appendUvarint(nil, uint64(batch))
+	return appendU64(p, digest)
+}
+
+func decodeBatchDone(p []byte) (batch int, digest uint64, err error) {
+	r := &reader{b: p}
+	batch = int(r.uvarint("batch"))
+	digest = r.u64("digest")
+	return batch, digest, r.done("batchDone")
+}
+
+// resultDigest folds a batch result into 64 bits: FNV-1a over every result
+// tuple (spill-row encoded, so float bit patterns are covered exactly) and
+// every estimate's five float64 bit patterns. Workers send it after each
+// batch; the coordinator compares against its own replica's digest and
+// expels any diverging worker — a replica that drifted once would corrupt
+// every later batch it participates in.
+func resultDigest(u *core.Update) (uint64, error) {
+	h := fnv.New64a()
+	var buf []byte
+	var err error
+	for _, t := range u.Result.Tuples {
+		buf, err = storage.AppendSpillRow(buf[:0], t.Vals, t.Mult, nil)
+		if err != nil {
+			return 0, err
+		}
+		h.Write(buf)
+	}
+	var f [8]byte
+	for _, row := range u.Estimates {
+		for _, e := range row {
+			for _, v := range [5]float64{e.Value, e.Stdev, e.CILo, e.CIHi, e.RelStd} {
+				putU64LE(f[:], math.Float64bits(v))
+				h.Write(f[:])
+			}
+		}
+	}
+	return h.Sum64(), nil
+}
+
+func putU64LE(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,87 @@
+// Transport construction: dialing real TCP workers, spinning up in-process
+// loopback workers over net.Pipe (so every test runs hermetically, no ports),
+// and a byte-counting conn wrapper the wire-accounting tests use to check
+// that reported shuffle+broadcast bytes equal bytes actually on the wire.
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dial connects to each worker address in order. On any failure it closes
+// the connections already made and returns the error: a coordinator that
+// starts with fewer workers than asked would silently change the span
+// assignment, so partial dial success is an error, not a degradation.
+func Dial(addrs []string, timeout time.Duration) ([]net.Conn, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conns := make([]net.Conn, 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			for _, prev := range conns {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("dist: dial worker %s: %w", addr, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// StartLoopback runs n in-process workers over synchronous in-memory pipes
+// and returns the coordinator-side connections plus a stop function that
+// closes them and waits for the worker goroutines to drain. net.Pipe supports
+// deadlines, so the failure-detection paths are exercised identically to TCP.
+func StartLoopback(n int, opts WorkerOptions) ([]net.Conn, func()) {
+	conns := make([]net.Conn, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c, s := net.Pipe()
+		conns[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ServeConn(s, opts)
+			s.Close()
+		}()
+	}
+	return conns, func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		wg.Wait()
+	}
+}
+
+// countingConn wraps a conn with atomic byte counters. The wire-equality test
+// hands these to the coordinator and asserts that the coordinator's reported
+// WireStats equal the counted totals exactly.
+type countingConn struct {
+	net.Conn
+	read, written atomic.Int64
+}
+
+func newCountingConn(inner net.Conn) *countingConn { return &countingConn{Conn: inner} }
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// Totals returns bytes read from and written to the underlying conn.
+func (c *countingConn) Totals() (read, written int64) {
+	return c.read.Load(), c.written.Load()
+}

@@ -1,0 +1,321 @@
+// The worker side: one workerSession per coordinator connection. The session
+// decodes the Setup blueprint, builds a full engine replica (catalog →
+// planner → engine, exactly the construction path the root package uses), and
+// then steps it in lockstep with the coordinator, serving as the engine's
+// core.Exchanger: at every distributed site it computes its own span, ships
+// it, and applies the merged bytes the coordinator broadcasts.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"iolap/internal/agg"
+	"iolap/internal/cluster"
+	"iolap/internal/core"
+	"iolap/internal/exec"
+	"iolap/internal/expr"
+	"iolap/internal/sql"
+)
+
+// errShutdown signals an orderly coordinator-requested teardown.
+var errShutdown = errors.New("dist: shutdown requested")
+
+// WorkerOptions configures a worker process.
+type WorkerOptions struct {
+	// Workers bounds the replica engine's local pool parallelism
+	// (default GOMAXPROCS). Scheduling only — never results.
+	Workers int
+	// IdleTimeout is how long the session waits for the next coordinator
+	// frame before giving up (default 5 minutes). It doubles as the
+	// patience for mid-site waits, where the coordinator may legitimately
+	// be busy computing.
+	IdleTimeout time.Duration
+	// Logf, when set, receives diagnostics (default: discard).
+	Logf func(format string, args ...interface{})
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// ListenAndServe runs a worker: it listens on addr and serves each inbound
+// coordinator connection in its own goroutine. This is the body of
+// `iolap -worker addr`. It returns only on listener failure.
+func ListenAndServe(addr string, opts WorkerOptions) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(l, opts)
+}
+
+// Serve accepts coordinator connections from l until Accept fails.
+func Serve(l net.Listener, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := ServeConn(conn, opts); err != nil {
+				opts.Logf("dist: worker session ended: %v", err)
+			}
+			conn.Close()
+		}()
+	}
+}
+
+// ServeConn runs one coordinator session to completion on conn. It returns
+// nil on orderly shutdown (msgShutdown or the coordinator hanging up between
+// batches) and the fatal error otherwise.
+func ServeConn(conn net.Conn, opts WorkerOptions) error {
+	w := &workerSession{conn: conn, opts: opts.withDefaults()}
+	err := w.run()
+	if errors.Is(err, errShutdown) {
+		return nil
+	}
+	return err
+}
+
+// workerSession is one coordinator connection's state. Everything runs on the
+// serving goroutine: the engine's Exchange calls re-enter the session's frame
+// loop, so no locking is needed.
+type workerSession struct {
+	conn    net.Conn
+	opts    WorkerOptions
+	rank    int
+	minRows int
+	live    []int  // frozen live ranks of the current batch
+	seq     uint64 // exchange sequence number, lockstep with the coordinator
+
+	wireShuffle   int64 // bytes sent toward the coordinator
+	wireBroadcast int64 // bytes received from the coordinator
+}
+
+func (w *workerSession) run() error {
+	typ, pl, err := w.read()
+	if err != nil {
+		return fmt.Errorf("dist: worker awaiting setup: %w", err)
+	}
+	if typ != msgSetup {
+		return fmt.Errorf("dist: worker expected setup, got frame type %d", typ)
+	}
+	s, err := decodeSetup(pl)
+	if err != nil {
+		w.sendError(err)
+		return err
+	}
+	eng, err := buildReplica(s, w.opts, w)
+	if err != nil {
+		w.sendError(err)
+		return err
+	}
+	defer eng.Close()
+	w.rank, w.minRows = s.rank, s.minRows
+	if err := w.send(msgSetupOK, nil); err != nil {
+		return err
+	}
+	w.opts.Logf("dist: worker rank %d ready (%d tables, %d batches)", w.rank, len(s.tables), s.opts.Batches)
+
+	for {
+		typ, pl, err := w.read()
+		if err != nil {
+			// A hangup between batches is an orderly end: the coordinator
+			// closes connections on teardown.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case msgPing:
+			if err := w.send(msgPong, nil); err != nil {
+				return err
+			}
+		case msgShutdown:
+			return errShutdown
+		case msgStep:
+			batch, live, err := decodeStep(pl)
+			if err != nil {
+				return err
+			}
+			w.live = live
+			u, err := eng.Step()
+			if err != nil {
+				if errors.Is(err, errShutdown) {
+					return errShutdown
+				}
+				w.sendError(err)
+				return err
+			}
+			var dg uint64
+			if u != nil {
+				if dg, err = resultDigest(u); err != nil {
+					w.sendError(err)
+					return err
+				}
+			}
+			if err := w.send(msgBatchDone, encodeBatchDone(batch, dg)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: worker got unexpected frame type %d between batches", typ)
+		}
+	}
+}
+
+// buildReplica constructs the worker's engine from the Setup blueprint,
+// following the same catalog → planner → engine path the root package uses,
+// so plan shape and operator numbering match the coordinator exactly.
+// Scheduling-only options are chosen locally: replicas run memory-only (no
+// spill budget) and size their own pools.
+func buildReplica(s *setupMsg, wopts WorkerOptions, exch core.Exchanger) (*core.Engine, error) {
+	db := exec.NewDB()
+	cat := sql.NewCatalog()
+	for _, t := range s.tables {
+		db.Put(t.name, t.rel)
+		cat.AddTable(t.name, t.rel.Schema, t.streamed)
+	}
+	stmt, err := sql.Parse(s.sqlText)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker parse: %w", err)
+	}
+	// Fresh registries: queries using custom UDFs/UDAs cannot run
+	// distributed (the planner errors here and Setup fails loudly).
+	node, _, err := sql.NewPlanner(cat, expr.NewRegistry(), agg.NewRegistry()).Plan(stmt)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker plan: %w", err)
+	}
+	opts := s.opts
+	opts.Exchange = exch
+	opts.Workers = wopts.Workers
+	opts.ParThreshold = 0
+	opts.StateBudgetBytes = 0
+	opts.SpillFS = nil
+	opts.SpillDir = ""
+	opts.CostSeed = nil
+	return core.NewEngine(node, db, opts)
+}
+
+// Exchange implements core.Exchanger for the worker side of a site: compute
+// this replica's span (derived from its position in the frozen live list),
+// ship it, then serve compute requests (re-dispatched spans of dead peers)
+// until the merged site arrives, and apply it.
+func (w *workerSession) Exchange(class cluster.OpClass, n int, compute func(lo, hi int) ([]byte, error), merge func(lo, hi int, payload []byte) error) error {
+	seq := w.seq
+	w.seq++
+	p := len(w.live) + 1
+	idx := -1
+	for i, rk := range w.live {
+		if rk == w.rank {
+			idx = i + 1
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("dist: worker rank %d missing from live set %v", w.rank, w.live)
+	}
+	spans := assignSpans(n, p)
+	lo, hi := spans[idx][0], spans[idx][1]
+	pl, err := compute(lo, hi)
+	if err != nil {
+		return err
+	}
+	// Empty spans still ship: the frame doubles as a liveness signal and
+	// keeps the collection sequence identical on both ends.
+	if err := w.send(msgSpan, encodeSpan(seq, lo, hi, pl)); err != nil {
+		return err
+	}
+	for {
+		typ, fp, err := w.read()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgPing:
+			if err := w.send(msgPong, nil); err != nil {
+				return err
+			}
+		case msgCompute:
+			cseq, clo, chi, err := decodeCompute(fp)
+			if err != nil {
+				return err
+			}
+			if cseq != seq {
+				return fmt.Errorf("dist: compute request for seq %d during seq %d", cseq, seq)
+			}
+			cpl, err := compute(clo, chi)
+			if err != nil {
+				return err
+			}
+			if err := w.send(msgSpan, encodeSpan(seq, clo, chi, cpl)); err != nil {
+				return err
+			}
+		case msgMerged:
+			mseq, msSpans, err := decodeMerged(fp)
+			if err != nil {
+				return err
+			}
+			if mseq != seq {
+				return fmt.Errorf("dist: merged site for seq %d during seq %d", mseq, seq)
+			}
+			for _, sm := range msSpans {
+				if err := merge(sm.lo, sm.hi, sm.payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		case msgShutdown:
+			return errShutdown
+		default:
+			return fmt.Errorf("dist: worker got unexpected frame type %d mid-site", typ)
+		}
+	}
+}
+
+// MinRows implements core.Exchanger.
+func (w *workerSession) MinRows() int { return w.minRows }
+
+// WireStats implements core.Exchanger: from the worker's perspective, bytes
+// it sends toward the coordinator are shuffle (collection) and bytes it
+// receives are broadcast (fan-out) — the same classification the coordinator
+// applies to the same frames.
+func (w *workerSession) WireStats() (shuffle, broadcast int64) {
+	return w.wireShuffle, w.wireBroadcast
+}
+
+func (w *workerSession) read() (byte, []byte, error) {
+	w.conn.SetReadDeadline(time.Now().Add(w.opts.IdleTimeout))
+	typ, pl, err := readFrame(w.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	w.wireBroadcast += int64(frameOverhead + len(pl))
+	return typ, pl, nil
+}
+
+func (w *workerSession) send(typ byte, payload []byte) error {
+	w.conn.SetWriteDeadline(time.Now().Add(w.opts.IdleTimeout))
+	if err := writeFrame(w.conn, typ, payload); err != nil {
+		return err
+	}
+	w.wireShuffle += int64(frameOverhead + len(payload))
+	return nil
+}
+
+// sendError best-effort ships a fatal error to the coordinator so it can
+// report the cause instead of a bare timeout.
+func (w *workerSession) sendError(err error) {
+	_ = w.send(msgError, []byte(err.Error()))
+}

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"iolap/internal/core"
+	"iolap/internal/dist"
 	"iolap/internal/rel"
 	"iolap/internal/storage"
 	"iolap/internal/workload"
@@ -697,4 +699,133 @@ func ScaleSensitivity(cfg Config) ([]*Result, error) {
 	res.Notes = append(res.Notes,
 		"expected: ND fraction falls and the HDA/iOLAP gap widens as data grows (group support reaches the range threshold)")
 	return []*Result{res}, nil
+}
+
+// Dist compares local, loopback-distributed, and TCP-distributed execution
+// of the exchange-heavy TPC-H queries: same results bit for bit, modeled
+// exchange volume unchanged (the replicas compute redundantly by design),
+// and the measured wire traffic of the real transport on top.
+func Dist(cfg Config) ([]*Result, error) {
+	cfg = cfg.WithDefaults()
+	w := cfg.tpch()
+	res := &Result{
+		ID:    "dist",
+		Title: "TPC-H Q3/Q17: local vs distributed (2 workers), loopback and TCP",
+		Header: []string{"query", "transport", "total_ms", "model_shuffle_kb",
+			"model_bcast_kb", "wire_shuffle_kb", "wire_bcast_kb", "identical"},
+		Notes: []string{
+			"modeled exchange bytes are identical across transports by construction (SPMD replicas)",
+			"wire bytes are measured on the transport: zero for local, real frames otherwise",
+		},
+	}
+	for _, name := range []string{"Q3", "Q17"} {
+		q, ok := w.Query(name)
+		if !ok {
+			return nil, fmt.Errorf("dist: no %s in workload %s", name, w.Name)
+		}
+		opts := core.Options{Batches: cfg.Batches, Trials: cfg.Trials,
+			Slack: cfg.Slack, Seed: cfg.Seed, Workers: 1}
+		ref, err := runQuery(w, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, distRow(name, "local", ref, ref, 0, 0))
+
+		for _, transport := range []string{"loopback", "tcp"} {
+			run, wireSh, wireBc, err := runQueryDist(w, q, opts, transport)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, distRow(name, transport, run, ref, wireSh, wireBc))
+		}
+	}
+	return []*Result{res}, nil
+}
+
+func distRow(query, transport string, run, ref *queryRun, wireSh, wireBc int64) []string {
+	identical := len(run.updates) == len(ref.updates)
+	for i := 0; identical && i < len(run.updates); i++ {
+		a, b := run.updates[i], ref.updates[i]
+		if !rel.EqualBag(a.Result, b.Result, 0) ||
+			a.ShuffleBytes != b.ShuffleBytes || a.BroadcastBytes != b.BroadcastBytes {
+			identical = false
+		}
+	}
+	return []string{
+		query, transport, ms(run.totalLatency()),
+		kb(run.engine.TotalShuffleBytes()),
+		kb(run.engine.TotalExchangeBytes() - run.engine.TotalShuffleBytes()),
+		kb(wireSh), kb(wireBc), yesNo(identical),
+	}
+}
+
+// runQueryDist executes one query through a dist.Coordinator over the given
+// transport ("loopback" or "tcp") with two workers, returning the run plus
+// the coordinator's measured wire totals.
+func runQueryDist(w *workload.Workload, q workload.Query, opts core.Options, transport string) (*queryRun, int64, int64, error) {
+	const workers = 2
+	var conns []net.Conn
+	var cleanup func()
+	switch transport {
+	case "loopback":
+		conns, cleanup = dist.StartLoopback(workers, dist.WorkerOptions{Workers: 1})
+	case "tcp":
+		addrs := make([]string, workers)
+		var listeners []net.Listener
+		for i := range addrs {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			listeners = append(listeners, l)
+			go dist.Serve(l, dist.WorkerOptions{Workers: 1})
+			addrs[i] = l.Addr().String()
+		}
+		var err error
+		conns, err = dist.Dial(addrs, 0)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		cleanup = func() {
+			for _, l := range listeners {
+				l.Close()
+			}
+		}
+	default:
+		return nil, 0, 0, fmt.Errorf("dist: unknown transport %q", transport)
+	}
+	defer cleanup()
+
+	coord := dist.NewCoordinator(conns, dist.Config{MinRows: 1})
+	defer coord.Close()
+	streamed := make(map[string]bool, len(w.Tables))
+	for name := range w.Tables {
+		streamed[name] = name == q.Stream
+	}
+	if err := coord.Setup(w.DB(), streamed, q.SQL, opts); err != nil {
+		return nil, 0, 0, fmt.Errorf("%s/%s (%s): %w", w.Name, q.Name, transport, err)
+	}
+	opts.Exchange = coord
+
+	node, _, err := w.Plan(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	eng, err := core.NewEngine(node, w.DB(), opts)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%s/%s (%s): %w", w.Name, q.Name, transport, err)
+	}
+	var updates []*core.Update
+	for !eng.Done() {
+		u, err := coord.Step(eng)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("%s/%s (%s): %w", w.Name, q.Name, transport, err)
+		}
+		if u == nil {
+			break
+		}
+		updates = append(updates, u)
+	}
+	wireSh, wireBc := coord.WireStats()
+	return &queryRun{query: q, updates: updates, engine: eng}, wireSh, wireBc, nil
 }

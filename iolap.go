@@ -39,11 +39,13 @@ package iolap
 import (
 	"fmt"
 	"io"
+	"net"
 	"sort"
 
 	"iolap/internal/agg"
 	"iolap/internal/bootstrap"
 	"iolap/internal/core"
+	"iolap/internal/dist"
 	"iolap/internal/exec"
 	"iolap/internal/expr"
 	"iolap/internal/rel"
@@ -143,6 +145,31 @@ type Options struct {
 	// SpillDir hosts the spill files (default: a temp directory owned and
 	// removed by the cursor).
 	SpillDir string
+	// DistWorkers lists remote worker addresses (host:port, each running
+	// `iolap -worker`). Non-empty enables distributed execution: each
+	// worker receives the tables and query at cursor creation, holds a full
+	// engine replica, and computes contiguous spans of the row-parallel
+	// operator sites. Results are bit-identical to local execution at any
+	// worker count, including after mid-batch worker failure (dead workers'
+	// spans are re-dispatched; the query degrades to local rather than
+	// failing). Queries using RegisterUDF/RegisterUDAF functions cannot run
+	// distributed — workers cannot replicate Go closures — and fail at
+	// Query. Call Cursor.Close to release the connections.
+	DistWorkers []string
+	// DistLoopback, when positive, runs that many in-process loopback
+	// workers instead of remote ones — the same code path over synchronous
+	// in-memory pipes, for tests and demos. Ignored when DistWorkers is
+	// set.
+	DistLoopback int
+	// DistMinRows is the smallest operator site worth shipping to workers
+	// (default 32 rows). Deterministic: it affects which sites distribute,
+	// identically on every replica, never results.
+	DistMinRows int
+	// CostProfile seeds the adaptive parallel-cutover model from a previous
+	// run's Cursor.CostSnapshot (the CLI persists it via -cost-profile), so
+	// a fresh process starts with learned per-row costs instead of
+	// cold-start priors. Scheduling only — never results.
+	CostProfile map[string]float64
 }
 
 // Estimate is the bootstrap error summary of one numeric output cell.
@@ -181,6 +208,11 @@ type Update struct {
 	// SpillBytesWritten / SpillBytesRead are this batch's join-state
 	// spill-file traffic (zero unless Options.StateBudgetBytes is set).
 	SpillBytesWritten, SpillBytesRead int64
+	// WireShuffleBytes / WireBroadcastBytes are bytes measured on the
+	// distributed transport this batch (zero for local runs):
+	// worker→coordinator span collection is shuffle, coordinator→worker
+	// fan-out is broadcast.
+	WireShuffleBytes, WireBroadcastBytes int64
 }
 
 // MaxRelStdev returns the worst relative standard deviation across all
@@ -465,10 +497,12 @@ func (s *Session) Exec(query string) (*Update, error) {
 
 // Cursor iterates the refined partial results of an incremental query.
 type Cursor struct {
-	engine *core.Engine
-	pp     *sql.PostProcess
-	cur    *Update
-	err    error
+	engine   *core.Engine
+	pp       *sql.PostProcess
+	cur      *Update
+	err      error
+	coord    *dist.Coordinator
+	stopLoop func()
 }
 
 // Query compiles the SQL text and prepares incremental execution; iterate
@@ -486,7 +520,8 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.NewEngine(node, s.db(), core.Options{
+	db := s.db()
+	coreOpts := core.Options{
 		Mode:       opts.Mode,
 		Batches:    opts.Batches,
 		Trials:     opts.Trials,
@@ -496,14 +531,53 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 		StratifyBy: opts.StratifyBy,
 		BlockRows:  opts.BlockRows,
 		Workers:    opts.Workers,
+		CostSeed:   opts.CostProfile,
 
 		StateBudgetBytes: opts.StateBudgetBytes,
 		SpillDir:         opts.SpillDir,
-	})
+	}
+	var coord *dist.Coordinator
+	var stopLoop func()
+	if len(opts.DistWorkers) > 0 || opts.DistLoopback > 0 {
+		var conns []net.Conn
+		if len(opts.DistWorkers) > 0 {
+			conns, err = dist.Dial(opts.DistWorkers, 0)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			conns, stopLoop = dist.StartLoopback(opts.DistLoopback,
+				dist.WorkerOptions{Workers: opts.Workers})
+		}
+		coord = dist.NewCoordinator(conns, dist.Config{MinRows: opts.DistMinRows})
+		streamedOf := make(map[string]bool, len(s.schemas))
+		for name := range s.schemas {
+			streamed := s.streamed[name]
+			if opts.Stream != "" {
+				streamed = name == opts.Stream
+			}
+			streamedOf[name] = streamed
+		}
+		if err := coord.Setup(db, streamedOf, query, coreOpts); err != nil {
+			coord.Close()
+			if stopLoop != nil {
+				stopLoop()
+			}
+			return nil, err
+		}
+		coreOpts.Exchange = coord
+	}
+	eng, err := core.NewEngine(node, db, coreOpts)
 	if err != nil {
+		if coord != nil {
+			coord.Close()
+			if stopLoop != nil {
+				stopLoop()
+			}
+		}
 		return nil, err
 	}
-	return &Cursor{engine: eng, pp: pp}, nil
+	return &Cursor{engine: eng, pp: pp, coord: coord, stopLoop: stopLoop}, nil
 }
 
 // Next advances to the next mini-batch result; it returns false when all
@@ -512,7 +586,13 @@ func (c *Cursor) Next() bool {
 	if c.err != nil || c.engine.Done() {
 		return false
 	}
-	u, err := c.engine.Step()
+	var u *core.Update
+	var err error
+	if c.coord != nil {
+		u, err = c.coord.Step(c.engine)
+	} else {
+		u, err = c.engine.Step()
+	}
 	if err != nil {
 		c.err = err
 		return false
@@ -548,10 +628,47 @@ func (c *Cursor) RunUntil(target float64) (*Update, error) {
 // Recoveries returns the total failure-recovery count so far.
 func (c *Cursor) Recoveries() int { return c.engine.TotalRecoveries() }
 
-// Close releases the cursor's spill files and their temp directory, if any.
-// Call it when done iterating a query that set Options.StateBudgetBytes;
+// CostSnapshot exports the engine's learned per-row cost profile, suitable
+// for Options.CostProfile in a later run (and for the CLI's -cost-profile
+// persistence).
+func (c *Cursor) CostSnapshot() map[string]float64 { return c.engine.CostSnapshot() }
+
+// WireStats reports total bytes measured on the distributed transport so
+// far — worker→coordinator (shuffle) and coordinator→worker (broadcast).
+// Both are zero for local runs.
+func (c *Cursor) WireStats() (shuffleBytes, broadcastBytes int64) {
+	if c.coord == nil {
+		return 0, 0
+	}
+	return c.coord.WireStats()
+}
+
+// DistLiveWorkers returns how many remote workers are still healthy (zero
+// for local runs). A query that started with N workers keeps producing
+// correct results as workers die — down to zero, at which point the
+// coordinator computes everything locally.
+func (c *Cursor) DistLiveWorkers() int {
+	if c.coord == nil {
+		return 0
+	}
+	return c.coord.LiveWorkers()
+}
+
+// Close releases the cursor's spill files and their temp directory, if any,
+// and shuts down distributed workers' query state. Call it when done
+// iterating a query that set Options.StateBudgetBytes or the Dist options;
 // it is a no-op otherwise, and idempotent.
-func (c *Cursor) Close() error { return c.engine.Close() }
+func (c *Cursor) Close() error {
+	err := c.engine.Close()
+	if c.coord != nil {
+		c.coord.Close()
+	}
+	if c.stopLoop != nil {
+		c.stopLoop()
+		c.stopLoop = nil
+	}
+	return err
+}
 
 // Plan renders the compiled online plan (diagnostics).
 func (c *Cursor) Plan() string { return c.engine.PlanString() }
@@ -592,6 +709,9 @@ func convertUpdate(u *core.Update, pp *sql.PostProcess) *Update {
 
 		SpillBytesWritten: u.SpillBytesWritten,
 		SpillBytesRead:    u.SpillBytesRead,
+
+		WireShuffleBytes:   u.WireShuffleBytes,
+		WireBroadcastBytes: u.WireBroadcastBytes,
 	}
 	// ORDER BY / LIMIT apply per delivered result; estimate alignment is
 	// preserved by sorting indexes alongside.

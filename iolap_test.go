@@ -2,6 +2,8 @@ package iolap
 
 import (
 	"math"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -399,5 +401,116 @@ func TestTableManagement(t *testing.T) {
 	}
 	if len(u.Columns) != 3 || u.Rows[0][2].(float64) != 617 {
 		t.Errorf("SELECT * via facade wrong: %v %v", u.Columns, u.Rows)
+	}
+}
+
+// bigSession builds a session large enough that distributed runs actually
+// ship spans (the coordinator skips sites below DistMinRows).
+func bigSession(t *testing.T) *Session {
+	t.Helper()
+	s := NewSession()
+	s.MustCreateTable("sessions", []Column{
+		{Name: "session_id", Type: TString},
+		{Name: "cdn", Type: TString},
+		{Name: "buffer_time", Type: TFloat},
+		{Name: "play_time", Type: TFloat},
+	}, Streamed)
+	cdns := []string{"east", "west", "south"}
+	rows := make([][]interface{}, 240)
+	for i := range rows {
+		rows[i] = []interface{}{
+			"s" + strconv.Itoa(i), cdns[i%len(cdns)],
+			float64((i * 37) % 101), float64((i*53)%211) + 10,
+		}
+	}
+	s.MustInsert("sessions", rows)
+	return s
+}
+
+// TestDistLoopbackFacade checks the public distributed path end to end:
+// Options.DistLoopback must reproduce the local run bit for bit, and the
+// measured wire traffic must surface on the Update and the Cursor.
+func TestDistLoopbackFacade(t *testing.T) {
+	query := `SELECT cdn, AVG(play_time) AS apt FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)
+		GROUP BY cdn ORDER BY cdn`
+	base := Options{Batches: 4, Trials: 20, Seed: 7, Workers: 1}
+
+	collect := func(opts Options) []*Update {
+		t.Helper()
+		cur, err := bigSession(t).Query(query, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		var us []*Update
+		for cur.Next() {
+			us = append(us, cur.Update())
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return us
+	}
+
+	local := collect(base)
+	distOpts := base
+	distOpts.DistLoopback = 2
+	distOpts.DistMinRows = 1
+	cur, err := bigSession(t).Query(query, &distOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if got := cur.DistLiveWorkers(); got != 2 {
+		t.Fatalf("live workers = %d, want 2", got)
+	}
+	var wireSh, wireBc int64
+	for i := 0; cur.Next(); i++ {
+		u := cur.Update()
+		if i >= len(local) {
+			t.Fatal("distributed run produced extra batches")
+		}
+		want := local[i]
+		if !reflect.DeepEqual(u.Rows, want.Rows) || !reflect.DeepEqual(u.Estimates, want.Estimates) {
+			t.Fatalf("batch %d diverges from local:\n dist %v\nlocal %v", u.Batch, u.Rows, want.Rows)
+		}
+		if u.Recomputed != want.Recomputed || u.Fraction != want.Fraction {
+			t.Fatalf("batch %d metrics diverge", u.Batch)
+		}
+		wireSh += u.WireShuffleBytes
+		wireBc += u.WireBroadcastBytes
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if wireSh == 0 || wireBc == 0 {
+		t.Errorf("per-batch wire bytes missing: shuffle %d broadcast %d", wireSh, wireBc)
+	}
+	totSh, totBc := cur.WireStats()
+	if totSh < wireSh || totBc < wireBc {
+		t.Errorf("cursor wire totals %d/%d below per-batch sums %d/%d", totSh, totBc, wireSh, wireBc)
+	}
+	if snap := cur.CostSnapshot(); len(snap) == 0 {
+		t.Error("cost snapshot empty")
+	}
+	if err := cur.Close(); err != nil { // idempotent with the defer
+		t.Fatal(err)
+	}
+}
+
+// TestDistRejectsUDF: user-defined functions cannot be replicated to
+// workers, so a distributed query using one must fail at Query, loudly.
+func TestDistRejectsUDF(t *testing.T) {
+	s := bigSession(t)
+	if err := s.RegisterUDF("half", 1, 1, func(args []interface{}) interface{} {
+		return args[0].(float64) / 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Query("SELECT AVG(half(play_time)) FROM sessions",
+		&Options{Batches: 2, Trials: 10, Seed: 1, DistLoopback: 2})
+	if err == nil {
+		t.Fatal("distributed UDF query must fail at Query")
 	}
 }
