@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check-race fuzz-seeds fuzz bench bench-skew bench-dist check
+.PHONY: build test vet race check-race fuzz-seeds fuzz alloc-test bench bench-skew bench-dist bench-agg profile check
 
 build:
 	$(GO) build ./...
@@ -51,4 +51,24 @@ bench-skew:
 bench-dist:
 	$(GO) run ./cmd/benchdist -o BENCH_dist.json
 
-check: build vet test fuzz-seeds race
+# Aggregate-kernel benchmark: ns/tuple for the flat SoA replicate kernels
+# vs. the per-replicate interface oracle on the B=100 bootstrap fold, per
+# builtin aggregate, with a bit-identity guard and allocs/tuple (expected
+# 0). Writes BENCH_agg.json.
+bench-agg:
+	$(GO) run ./cmd/benchagg -o BENCH_agg.json
+
+# Allocation-regression tests: testing.AllocsPerRun pins the per-tuple
+# steady state of the kernel fold, the weight generator, and key encoding
+# at zero. GOMAXPROCS irrelevant — the tests cover Workers=1 and parallel.
+alloc-test:
+	$(GO) test -run 'Alloc' ./internal/agg ./internal/bootstrap ./internal/core ./internal/rel
+
+# Profile a full engine run: cmd/iolap grew -cpuprofile/-memprofile; this
+# target produces both under ./profiles for `go tool pprof`.
+PROFILE_ARGS ?= -workload tpch -query Q1 -scale 50000 -batches 10
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/iolap $(PROFILE_ARGS) -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
+
+check: build vet test fuzz-seeds alloc-test race

@@ -1,0 +1,172 @@
+// Command benchagg measures the flat SoA replicate kernels against the
+// per-replicate interface oracle on the B-trial bootstrap fold — the
+// engine's dominant CPU cost (paper Section 2, Appendix C) — and writes
+// BENCH_agg.json. For every builtin aggregate it reports:
+//
+//   - ns/tuple for the oracle (one interface accumulator per replicate) and
+//     the kernel (one contiguous bank, fused per-kind inner loop), median of
+//     -reps runs over the same deterministic fixture;
+//   - the resulting speedup;
+//   - allocations per tuple in the kernel's steady-state fold (expected 0;
+//     the AllocsPerRun regression tests pin this in CI).
+//
+// The run aborts if any kernel result bit-diverges from the oracle — the
+// numbers are only meaningful while the two paths are byte-identical.
+//
+//	benchagg -o BENCH_agg.json
+//	benchagg -rows 32768 -trials 100 -reps 9
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"iolap/internal/agg"
+	"iolap/internal/bootstrap"
+)
+
+type aggResult struct {
+	Agg               string  `json:"agg"`
+	OracleNsPerTuple  float64 `json:"oracle_ns_per_tuple"`
+	KernelNsPerTuple  float64 `json:"kernel_ns_per_tuple"`
+	Speedup           float64 `json:"speedup"`
+	KernelAllocsTuple float64 `json:"kernel_allocs_per_tuple"`
+}
+
+type report struct {
+	Rows    int         `json:"rows"`
+	Trials  int         `json:"trials"`
+	Reps    int         `json:"reps"`
+	Cores   int         `json:"cores"`
+	Results []aggResult `json:"results"`
+}
+
+// fixture is the deterministic workload: values and per-tuple Poisson weight
+// vectors shared by every scheme and every repetition.
+type fixture struct {
+	vals    []float64
+	mults   []float64
+	weights [][]float64
+}
+
+func newFixture(rows, trials int, seed uint64) *fixture {
+	f := &fixture{
+		vals:    make([]float64, rows),
+		mults:   make([]float64, rows),
+		weights: make([][]float64, rows),
+	}
+	src := bootstrap.NewPoissonSource(seed, trials)
+	slab := make([]float64, rows*trials)
+	state := seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < rows; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		f.vals[i] = float64(int64(state>>33)%2000) / 7.0
+		f.mults[i] = 1 + float64(i%3)
+		f.weights[i] = src.WeightsInto(uint64(i), slab[i*trials:(i+1)*trials:(i+1)*trials])
+	}
+	return f
+}
+
+// fold adds every fixture tuple into v and returns a result checksum.
+func (f *fixture) fold(v *agg.Vector) float64 {
+	for i := range f.vals {
+		v.Add(f.vals[i], f.mults[i], f.weights[i])
+	}
+	return v.Result(1)
+}
+
+// digest captures the full bit pattern of a vector's outputs.
+func digest(v *agg.Vector, trials int) []uint64 {
+	out := make([]uint64, 0, trials+1)
+	out = append(out, math.Float64bits(v.Result(1)))
+	for _, r := range v.RepResults(1, nil) {
+		out = append(out, math.Float64bits(r))
+	}
+	return out
+}
+
+func medianNsPerTuple(reps, rows int, run func()) float64 {
+	durs := make([]time.Duration, reps)
+	for i := range durs {
+		start := time.Now()
+		run()
+		durs[i] = time.Since(start)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return float64(durs[len(durs)/2].Nanoseconds()) / float64(rows)
+}
+
+func main() {
+	var (
+		rows   = flag.Int("rows", 1<<15, "fixture rows")
+		trials = flag.Int("trials", 100, "bootstrap trials B (the paper uses 100)")
+		reps   = flag.Int("reps", 7, "timed repetitions per point (median reported)")
+		out    = flag.String("o", "BENCH_agg.json", "output path")
+	)
+	flag.Parse()
+
+	reg := agg.NewRegistry()
+	fix := newFixture(*rows, *trials, 42)
+	rep := report{Rows: *rows, Trials: *trials, Reps: *reps, Cores: runtime.NumCPU()}
+
+	for _, name := range []string{"SUM", "COUNT", "AVG", "VAR", "STDDEV", "MIN", "MAX"} {
+		fn, ok := reg.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchagg: unknown builtin %s\n", name)
+			os.Exit(1)
+		}
+		// Bit-identity guard: one full fold on each path must agree in every
+		// replicate's bit pattern before the timings mean anything.
+		kv, ov := agg.NewVector(fn, *trials), agg.NewVectorOracle(fn, *trials)
+		fix.fold(kv)
+		fix.fold(ov)
+		kd, od := digest(kv, *trials), digest(ov, *trials)
+		for i := range kd {
+			if kd[i] != od[i] {
+				fmt.Fprintf(os.Stderr, "benchagg: %s slot %d diverged: kernel %016x oracle %016x\n",
+					name, i, kd[i], od[i])
+				os.Exit(1)
+			}
+		}
+
+		var r aggResult
+		r.Agg = name
+		r.OracleNsPerTuple = medianNsPerTuple(*reps, *rows, func() {
+			ov.Reset()
+			fix.fold(ov)
+		})
+		r.KernelNsPerTuple = medianNsPerTuple(*reps, *rows, func() {
+			kv.Reset()
+			fix.fold(kv)
+		})
+		if r.KernelNsPerTuple > 0 {
+			r.Speedup = r.OracleNsPerTuple / r.KernelNsPerTuple
+		}
+		r.KernelAllocsTuple = testing.AllocsPerRun(3, func() {
+			kv.Reset()
+			fix.fold(kv)
+		}) / float64(*rows)
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-7s oracle %7.1f ns/tuple  kernel %7.1f ns/tuple  %5.2fx  %.4f allocs/tuple\n",
+			name, r.OracleNsPerTuple, r.KernelNsPerTuple, r.Speedup, r.KernelAllocsTuple)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchagg:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchagg:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (rows=%d, trials=%d, cores=%d)\n", *out, rep.Rows, rep.Trials, rep.Cores)
+}

@@ -60,6 +60,10 @@ type Func struct {
 	AcceptsAny bool
 	// New allocates a fresh accumulator.
 	New func() Accumulator
+	// kind selects the fused SoA bank kernel (kernel.go). Only the builtins
+	// set it; UDAF registrations leave the zero value (kOpaque) and stay on
+	// the interface path, as does COUNT(DISTINCT), whose state is a map.
+	kind kernelKind
 }
 
 // Registry maps aggregate names to implementations; it is preloaded with the
@@ -285,23 +289,24 @@ func (a *distinctAcc) SizeBytes() int { return 48 + 16*len(a.seen) }
 
 func builtinAggs() []Func {
 	return []Func{
-		{Name: "SUM", TakesArg: true, Smooth: true, Invertible: true,
+		{Name: "SUM", TakesArg: true, Smooth: true, Invertible: true, kind: kSum,
 			New: func() Accumulator { return &sumAcc{} }},
 		{Name: "COUNT", TakesArg: false, Smooth: true, Invertible: true,
 			AcceptsAny: true, // COUNT(expr) counts non-NULL rows of any type
+			kind:       kCount,
 			New:        func() Accumulator { return &countAcc{} }},
-		{Name: "AVG", TakesArg: true, Smooth: true, Invertible: true,
+		{Name: "AVG", TakesArg: true, Smooth: true, Invertible: true, kind: kAvg,
 			New: func() Accumulator { return &avgAcc{} }},
-		{Name: "VAR", TakesArg: true, Smooth: true, Invertible: true,
+		{Name: "VAR", TakesArg: true, Smooth: true, Invertible: true, kind: kVar,
 			New: func() Accumulator { return &varAcc{} }},
-		{Name: "STDDEV", TakesArg: true, Smooth: true, Invertible: true,
+		{Name: "STDDEV", TakesArg: true, Smooth: true, Invertible: true, kind: kStddev,
 			New: func() Accumulator { return &stddevAcc{} }},
-		{Name: "MIN", TakesArg: true, Smooth: false, Invertible: false,
+		{Name: "MIN", TakesArg: true, Smooth: false, Invertible: false, kind: kMin,
 			New: func() Accumulator { return &minAcc{} }},
 		{Name: "COUNTD", TakesArg: true, Smooth: false, Invertible: false,
 			AcceptsAny: true,
 			New:        func() Accumulator { return &distinctAcc{} }},
-		{Name: "MAX", TakesArg: true, Smooth: false, Invertible: false,
+		{Name: "MAX", TakesArg: true, Smooth: false, Invertible: false, kind: kMax,
 			New: func() Accumulator { return &maxAcc{} }},
 	}
 }
@@ -310,28 +315,61 @@ func builtinAggs() []Func {
 // Replicate vectors
 
 // Vector bundles the main accumulator with B bootstrap replicate
-// accumulators for one (aggregate, group) pair.
+// accumulators for one (aggregate, group) pair. Builtin numeric aggregates
+// store the whole vector as one contiguous SoA bank of (B+1)·stateWidth
+// float64s driven by the fused kernels in kernel.go; UDAFs and
+// COUNT(DISTINCT) fall back to one interface accumulator per replicate.
+// Both representations perform identical floating-point operations in the
+// same order, so results are bit-identical (NewVectorOracle forces the
+// interface path for the equivalence suite).
 type Vector struct {
-	Fn   *Func
-	Main Accumulator
-	Reps []Accumulator
+	Fn     *Func
+	trials int
+	// bank is the SoA state (kernel path); nil on the interface path.
+	bank []float64
+	// main/reps are the interface path (oracle, UDAFs, COUNT(DISTINCT)).
+	main Accumulator
+	reps []Accumulator
 }
 
-// NewVector allocates a vector with the given replicate count.
+// NewVector allocates a vector with the given replicate count, using the
+// flat bank representation whenever the aggregate has a fused kernel.
 func NewVector(fn *Func, trials int) *Vector {
-	v := &Vector{Fn: fn, Main: fn.New(), Reps: make([]Accumulator, trials)}
-	for i := range v.Reps {
-		v.Reps[i] = fn.New()
+	if w := fn.kind.width(); w > 0 {
+		return &Vector{Fn: fn, trials: trials, bank: make([]float64, w*(trials+1))}
+	}
+	return NewVectorOracle(fn, trials)
+}
+
+// NewVectorOracle allocates a vector on the per-replicate interface path
+// regardless of the aggregate's kernel — the reference implementation the
+// kernel equivalence fuzz and the before/after benchmarks compare against.
+func NewVectorOracle(fn *Func, trials int) *Vector {
+	v := &Vector{Fn: fn, trials: trials, main: fn.New(), reps: make([]Accumulator, trials)}
+	for i := range v.reps {
+		v.reps[i] = fn.New()
 	}
 	return v
 }
+
+// slots returns the per-field bank length (main + B replicates).
+func (v *Vector) slots() int { return v.trials + 1 }
+
+// Trials returns the replicate count B.
+func (v *Vector) Trials() int { return v.trials }
 
 // Add folds one input value: mult into the main accumulator, mult times the
 // Poisson weight into each replicate. poisson may be nil for inputs from
 // non-streamed relations (constant weight 1 per trial).
 func (v *Vector) Add(val, mult float64, poisson []float64) {
-	v.Main.Add(val, mult)
-	for b, acc := range v.Reps {
+	if v.bank != nil {
+		k, s := v.Fn.kind, v.slots()
+		bankAddMain(k, v.bank, s, val, mult)
+		bankAddRange(k, v.bank, s, 0, v.trials, val, nil, mult, poisson)
+		return
+	}
+	v.main.Add(val, mult)
+	for b, acc := range v.reps {
 		w := mult
 		if poisson != nil {
 			w *= poisson[b]
@@ -343,8 +381,18 @@ func (v *Vector) Add(val, mult float64, poisson []float64) {
 // AddRep folds a value whose replicates differ per trial (the aggregated
 // column itself is uncertain): vals[b] is the b-th replicate input value.
 func (v *Vector) AddRep(val float64, vals []float64, mult float64, poisson []float64) {
-	v.Main.Add(val, mult)
-	for b, acc := range v.Reps {
+	if v.bank != nil {
+		k, s := v.Fn.kind, v.slots()
+		bankAddMain(k, v.bank, s, val, mult)
+		if vals == nil {
+			bankAddRange(k, v.bank, s, 0, v.trials, val, nil, mult, poisson)
+		} else {
+			bankAddRange(k, v.bank, s, 0, v.trials, val, vals, mult, poisson)
+		}
+		return
+	}
+	v.main.Add(val, mult)
+	for b, acc := range v.reps {
 		w := mult
 		if poisson != nil {
 			w *= poisson[b]
@@ -359,8 +407,12 @@ func (v *Vector) AddRep(val float64, vals []float64, mult float64, poisson []flo
 
 // Sub retracts a previously added value (invertible aggregates only).
 func (v *Vector) Sub(val, mult float64, poisson []float64) {
-	v.Main.Sub(val, mult)
-	for b, acc := range v.Reps {
+	if v.bank != nil {
+		bankSub(v.Fn.kind, v.bank, v.slots(), val, mult, poisson)
+		return
+	}
+	v.main.Sub(val, mult)
+	for b, acc := range v.reps {
 		w := mult
 		if poisson != nil {
 			w *= poisson[b]
@@ -369,24 +421,53 @@ func (v *Vector) Sub(val, mult float64, poisson []float64) {
 	}
 }
 
-// Merge folds another vector (same function, same trial count).
+// Merge folds another vector (same function, same trial count, same
+// representation — vectors only ever merge with vectors built by the same
+// constructor).
 func (v *Vector) Merge(o *Vector) {
-	v.Main.Merge(o.Main)
-	for b := range v.Reps {
-		v.Reps[b].Merge(o.Reps[b])
+	if v.bank != nil {
+		if o.bank == nil {
+			panic("agg: Merge across vector representations")
+		}
+		bankMerge(v.Fn.kind, v.bank, o.bank, v.slots())
+		return
+	}
+	v.main.Merge(o.main)
+	for b := range v.reps {
+		v.reps[b].Merge(o.reps[b])
 	}
 }
 
 // Result reads the running value under the given extensive scale.
-func (v *Vector) Result(scale float64) float64 { return v.Main.Result(scale) }
+func (v *Vector) Result(scale float64) float64 {
+	if v.bank != nil {
+		return bankResult(v.Fn.kind, v.bank, v.slots(), 0, scale)
+	}
+	return v.main.Result(scale)
+}
+
+// RepResult reads replicate b's value under the given scale.
+func (v *Vector) RepResult(b int, scale float64) float64 {
+	if v.bank != nil {
+		return bankResult(v.Fn.kind, v.bank, v.slots(), 1+b, scale)
+	}
+	return v.reps[b].Result(scale)
+}
 
 // RepResults reads all replicate values under the given scale into dst
 // (allocated when nil).
 func (v *Vector) RepResults(scale float64, dst []float64) []float64 {
 	if dst == nil {
-		dst = make([]float64, len(v.Reps))
+		dst = make([]float64, v.trials)
 	}
-	for b, acc := range v.Reps {
+	if v.bank != nil {
+		k, s := v.Fn.kind, v.slots()
+		for b := 0; b < v.trials; b++ {
+			dst[b] = bankResult(k, v.bank, s, 1+b, scale)
+		}
+		return dst
+	}
+	for b, acc := range v.reps {
 		dst[b] = acc.Result(scale)
 	}
 	return dst
@@ -394,25 +475,39 @@ func (v *Vector) RepResults(scale float64, dst []float64) []float64 {
 
 // Reset zeroes every accumulator for scratch reuse across batches.
 func (v *Vector) Reset() {
-	v.Main.Reset()
-	for _, r := range v.Reps {
+	if v.bank != nil {
+		for i := range v.bank {
+			v.bank[i] = 0
+		}
+		return
+	}
+	v.main.Reset()
+	for _, r := range v.reps {
 		r.Reset()
 	}
 }
 
 // Clone deep-copies the vector (snapshot support).
 func (v *Vector) Clone() *Vector {
-	c := &Vector{Fn: v.Fn, Main: v.Main.Clone(), Reps: make([]Accumulator, len(v.Reps))}
-	for i, r := range v.Reps {
-		c.Reps[i] = r.Clone()
+	if v.bank != nil {
+		c := &Vector{Fn: v.Fn, trials: v.trials, bank: make([]float64, len(v.bank))}
+		copy(c.bank, v.bank)
+		return c
+	}
+	c := &Vector{Fn: v.Fn, trials: v.trials, main: v.main.Clone(), reps: make([]Accumulator, len(v.reps))}
+	for i, r := range v.reps {
+		c.reps[i] = r.Clone()
 	}
 	return c
 }
 
 // SizeBytes estimates the vector's footprint.
 func (v *Vector) SizeBytes() int {
-	n := 48 + v.Main.SizeBytes()
-	for _, r := range v.Reps {
+	if v.bank != nil {
+		return 72 + 8*len(v.bank)
+	}
+	n := 48 + v.main.SizeBytes()
+	for _, r := range v.reps {
 		n += r.SizeBytes()
 	}
 	return n

@@ -28,10 +28,19 @@ func addSample(acc Accumulator, s *Sample, b int) {
 // Fold folds samples sequentially in order — the single-worker form of
 // FoldPar, equivalent to calling Add/AddRep per sample.
 func (v *Vector) Fold(samples []Sample) {
+	if v.bank != nil {
+		k, s := v.Fn.kind, v.slots()
+		for i := range samples {
+			sm := &samples[i]
+			bankAddMain(k, v.bank, s, sm.Val, sm.Mult)
+			bankAddRange(k, v.bank, s, 0, v.trials, sm.Val, sm.Reps, sm.Mult, sm.W)
+		}
+		return
+	}
 	for i := range samples {
 		s := &samples[i]
-		v.Main.Add(s.Val, s.Mult)
-		for b, acc := range v.Reps {
+		v.main.Add(s.Val, s.Mult)
+		for b, acc := range v.reps {
 			addSample(acc, s, b)
 		}
 	}
@@ -42,12 +51,15 @@ func (v *Vector) Fold(samples []Sample) {
 // each of the parts workers owns a contiguous range of replicate
 // accumulators (one extra task owns Main). Every accumulator receives
 // exactly the sequence of Adds the sequential Fold gives it — only which
-// goroutine performs them changes — so the result is bit-identical. This is
-// the O(rows × trials) bootstrap arithmetic's parallel axis of choice when
-// the batch touches few groups (a global aggregate being the extreme case),
-// where sharding groups across workers would leave most of the pool idle.
+// goroutine performs them changes — so the result is bit-identical. On the
+// bank path each worker's range maps to disjoint slices of every field's
+// contiguous run, so the same ownership argument holds slot-for-slot. This
+// is the O(rows × trials) bootstrap arithmetic's parallel axis of choice
+// when the batch touches few groups (a global aggregate being the extreme
+// case), where sharding groups across workers would leave most of the pool
+// idle.
 func (v *Vector) FoldPar(samples []Sample, pmap func(n int, fn func(i int)), parts int) {
-	B := len(v.Reps)
+	B := v.trials
 	if parts > B {
 		parts = B
 	}
@@ -55,10 +67,27 @@ func (v *Vector) FoldPar(samples []Sample, pmap func(n int, fn func(i int)), par
 		v.Fold(samples)
 		return
 	}
+	if v.bank != nil {
+		k, s := v.Fn.kind, v.slots()
+		pmap(parts+1, func(p int) {
+			if p == parts {
+				for i := range samples {
+					bankAddMain(k, v.bank, s, samples[i].Val, samples[i].Mult)
+				}
+				return
+			}
+			lo, hi := p*B/parts, (p+1)*B/parts
+			for i := range samples {
+				sm := &samples[i]
+				bankAddRange(k, v.bank, s, lo, hi, sm.Val, sm.Reps, sm.Mult, sm.W)
+			}
+		})
+		return
+	}
 	pmap(parts+1, func(p int) {
 		if p == parts {
 			for i := range samples {
-				v.Main.Add(samples[i].Val, samples[i].Mult)
+				v.main.Add(samples[i].Val, samples[i].Mult)
 			}
 			return
 		}
@@ -66,7 +95,7 @@ func (v *Vector) FoldPar(samples []Sample, pmap func(n int, fn func(i int)), par
 		for i := range samples {
 			s := &samples[i]
 			for b := lo; b < hi; b++ {
-				addSample(v.Reps[b], s, b)
+				addSample(v.reps[b], s, b)
 			}
 		}
 	})

@@ -1,0 +1,47 @@
+package bootstrap
+
+import "testing"
+
+// TestWeightsIntoZeroAllocs pins the per-tuple weight generation at zero
+// allocations: the scan hands WeightsInto a slab-backed destination and
+// must get the same weights Weights would return, heap-free.
+func TestWeightsIntoZeroAllocs(t *testing.T) {
+	const trials = 100
+	src := NewPoissonSource(42, trials)
+	dst := make([]float64, trials)
+	var idx uint64
+	if got := testing.AllocsPerRun(200, func() {
+		src.WeightsInto(idx, dst)
+		idx++
+	}); got != 0 {
+		t.Errorf("WeightsInto allocates %v per call, want 0", got)
+	}
+	// Same stream as the allocating form.
+	want := src.Weights(7)
+	got := src.WeightsInto(7, dst)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("WeightsInto(7)[%d] = %v, Weights(7)[%d] = %v", i, got[i], i, want[i])
+		}
+	}
+}
+
+// TestSummarizeIntoZeroAllocsSteadyState: after the scratch has grown to
+// the replicate count once, repeated summaries reuse it allocation-free
+// apart from nothing at all.
+func TestSummarizeIntoZeroAllocs(t *testing.T) {
+	reps := make([]float64, 100)
+	for i := range reps {
+		reps[i] = float64(i%17) * 1.5
+	}
+	_, scratch := SummarizeInto(10, reps, nil) // warm the scratch
+	if got := testing.AllocsPerRun(200, func() {
+		_, scratch = SummarizeInto(10, reps, scratch)
+	}); got != 0 {
+		t.Errorf("SummarizeInto with warm scratch allocates %v per call, want 0", got)
+	}
+	e, _ := SummarizeInto(10, reps, scratch)
+	if want := Summarize(10, reps); e != want {
+		t.Errorf("SummarizeInto = %+v, Summarize = %+v", e, want)
+	}
+}

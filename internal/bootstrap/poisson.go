@@ -56,12 +56,21 @@ func (p *PoissonSource) Trials() int { return p.trials }
 // vector advance the stream sequentially, which keeps the generator
 // deterministic while costing one mix per uniform.
 func (p *PoissonSource) Weights(index uint64) []float64 {
-	w := make([]float64, p.trials)
-	state := splitmix64(p.seed ^ index*0x9e3779b97f4a7c15)
-	for b := range w {
-		w[b] = float64(poisson1(&state))
+	return p.WeightsInto(index, make([]float64, p.trials))
+}
+
+// WeightsInto fills dst (which must have length Trials) with the weight
+// vector for the given tuple index and returns it — the allocation-free form
+// of Weights for callers that own scratch.
+func (p *PoissonSource) WeightsInto(index uint64, dst []float64) []float64 {
+	if len(dst) != p.trials {
+		panic("bootstrap: WeightsInto dst length != trials")
 	}
-	return w
+	state := splitmix64(p.seed ^ index*0x9e3779b97f4a7c15)
+	for b := range dst {
+		dst[b] = float64(poisson1(&state))
+	}
+	return dst
 }
 
 // poisson1 draws one Poisson(1) variate via Knuth's method, advancing the
@@ -172,12 +181,25 @@ type Estimate struct {
 // Summarize computes an Estimate from the running value and its replicate
 // outputs (one sort shared by both confidence bounds).
 func Summarize(value float64, reps []float64) Estimate {
+	e, _ := SummarizeInto(value, reps, nil)
+	return e
+}
+
+// SummarizeInto is Summarize with a caller-owned sort buffer: reps is copied
+// into scratch (grown as needed) and sorted there, so a caller summarising
+// many groups pays one buffer for all of them instead of one sort-copy per
+// call. The (possibly grown) scratch is returned for reuse; reps itself is
+// never reordered.
+func SummarizeInto(value float64, reps []float64, scratch []float64) (Estimate, []float64) {
 	e := Estimate{Value: value}
 	if len(reps) == 0 {
-		return e
+		return e, scratch
 	}
 	e.Stdev = Stdev(reps)
-	sorted := make([]float64, len(reps))
+	if cap(scratch) < len(reps) {
+		scratch = make([]float64, len(reps))
+	}
+	sorted := scratch[:len(reps)]
 	copy(sorted, reps)
 	sort.Float64s(sorted)
 	e.CILo = quantileSorted(sorted, 0.025)
@@ -187,5 +209,5 @@ func Summarize(value float64, reps []float64) Estimate {
 	} else {
 		e.RelStd = e.Stdev
 	}
-	return e
+	return e, scratch
 }

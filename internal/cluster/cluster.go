@@ -156,6 +156,7 @@ type Metrics struct {
 	spillWritten    atomic.Int64
 	spillRead       atomic.Int64
 	spillProbeSkips atomic.Int64
+	spillBloomSkips atomic.Int64
 	wireShuffle     atomic.Int64
 	wireBroadcast   atomic.Int64
 }
@@ -234,6 +235,22 @@ func (m *Metrics) RecordSpillProbeSkip() {
 // SpillProbeSkips returns how many probes the min-max filters short-circuited.
 func (m *Metrics) SpillProbeSkips() int64 { return m.spillProbeSkips.Load() }
 
+// RecordSpillBloomSkip notes a probe that fell inside some run's min-max key
+// range but that every covering run's Bloom filter rejected — the sparse
+// in-range miss the min-max filters cannot catch. Like the min-max skips,
+// the count is a pure function of the probe multiset and the deterministic
+// spill schedule, so it is identical at every worker count.
+func (m *Metrics) RecordSpillBloomSkip() {
+	if m == nil {
+		return
+	}
+	m.spillBloomSkips.Add(1)
+}
+
+// SpillBloomSkips returns how many probes the per-run Bloom filters
+// short-circuited after the min-max filters passed.
+func (m *Metrics) SpillBloomSkips() int64 { return m.spillBloomSkips.Load() }
+
 // RecordWireShuffle notes bytes actually measured on a transport connection
 // carrying partition results toward the coordinator (the distributed
 // analogue of shuffle traffic). Unlike the modeled Record*Bytes counters,
@@ -295,6 +312,7 @@ func (m *Metrics) Reset() {
 	m.spillWritten.Store(0)
 	m.spillRead.Store(0)
 	m.spillProbeSkips.Store(0)
+	m.spillBloomSkips.Store(0)
 	m.wireShuffle.Store(0)
 	m.wireBroadcast.Store(0)
 }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// measureAllocsPerTuple runs the engine over all batches of a fresh query
+// and returns heap allocations per streamed tuple across the steady-state
+// batches (the first batch is excluded: it builds the groups, scratch
+// buffers, and weight slab capacity that later batches reuse).
+func measureAllocsPerTuple(t *testing.T, query string, n, workers int) float64 {
+	t.Helper()
+	db := testDB(n, 42)
+	root := planQuery(t, query)
+	eng, err := NewEngine(root, db, Options{Batches: 8, Trials: 100, Workers: workers})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if _, err := eng.Step(); err != nil { // warm-up batch
+		t.Fatalf("warm-up step: %v", err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	steps := 0
+	for !eng.Done() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		steps++
+	}
+	runtime.ReadMemStats(&after)
+	tuples := float64(n) * float64(steps) / 8.0
+	return float64(after.Mallocs-before.Mallocs) / tuples
+}
+
+// TestEngineAllocsPerTupleSteadyState bounds end-to-end allocations per
+// streamed tuple on the aggregate hot path, sequential and parallel. The
+// per-tuple work — group lookup (EncodeKeyInto + no-copy map index),
+// Poisson weights (slab-backed WeightsInto), and the bank kernels — is
+// allocation-free; what remains is per-batch and per-group overhead
+// (result materialization, the weight slab, update plumbing), which
+// amortizes far below one allocation per tuple. A true per-tuple
+// regression (one weight slice or key string per row costs >= 1/tuple)
+// trips the bound at once.
+func TestEngineAllocsPerTupleSteadyState(t *testing.T) {
+	const n = 16000
+	const bound = 0.5
+	queries := []struct{ name, q string }{
+		{"global_agg", `SELECT COUNT(*) AS n, AVG(buffer_time) AS abt, SUM(play_time) AS spt FROM sessions`},
+		{"group_by", `SELECT cdn, SUM(play_time) AS spt, STDDEV(buffer_time) AS sbt FROM sessions GROUP BY cdn`},
+	}
+	for _, q := range queries {
+		for _, workers := range []int{1, 4} {
+			got := measureAllocsPerTuple(t, q.q, n, workers)
+			if got > bound {
+				t.Errorf("%s workers=%d: %.3f allocs/tuple, want <= %v", q.name, workers, got, bound)
+			}
+		}
+	}
+}

@@ -252,6 +252,16 @@ func (bc *batchContext) mapChunks(c cluster.OpClass, n int, fill func(lo, hi int
 	}
 }
 
+// weightArena returns one contiguous float64 arena of rows×trials for a
+// scan's per-tuple bootstrap weight vectors. Rows retain their W slices past
+// the batch (join state, lineage), so the arena cannot be recycled — but
+// carving every vector out of one slab replaces rows allocations with one
+// per scan per batch, and keeps a batch's weight vectors contiguous for the
+// fold kernels' sequential reads.
+func (bc *batchContext) weightArena(rows, trials int) []float64 {
+	return make([]float64, rows*trials)
+}
+
 // failure records one variation-range integrity violation (Section 5.1).
 type failure struct {
 	op        int

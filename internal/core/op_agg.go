@@ -52,11 +52,20 @@ type opAgg struct {
 	// scratchPool reuses the per-batch pending/lazy accumulator vectors
 	// across batches (epoch-tagged) to avoid re-allocating
 	// O(groups x trials) accumulators every batch.
-	scratchPool map[string]*scratchEntry
+	scratchPool map[*aggGroup]*scratchEntry
 	epoch       int
 	// mergeBuf is a per-spec reusable vector used to read sketch+scratch
 	// without cloning the sketch.
 	mergeBuf []*agg.Vector
+	// keyBuf is the group-key encoding scratch: lookups index the groups
+	// map by string(keyBuf), which the compiler compiles to a no-copy,
+	// no-allocation access; only a genuinely new group materialises the key.
+	keyBuf []byte
+	// repsBuf is the sequential fold's reusable replicate-argument buffer.
+	repsBuf []float64
+	// groupBytes is the estimated per-group sketch footprint (constant per
+	// operator), precomputed so stateBytes never allocates probe vectors.
+	groupBytes int
 }
 
 // scratchEntry is one group's reusable scratch vectors.
@@ -126,6 +135,10 @@ func newOpAgg(t *plan.Aggregate, child operator, an *plan.Analysis, scaleExp int
 		}
 		op.specs = append(op.specs, c)
 	}
+	op.groupBytes = 64
+	for i := range op.specs {
+		op.groupBytes += agg.NewVector(op.specs[i].fn, op.trials).SizeBytes()
+	}
 	return op
 }
 
@@ -167,6 +180,17 @@ func (o *opAgg) getGroup(vals []rel.Value, key string) *aggGroup {
 	return g
 }
 
+// rowGroup resolves a row's group through the reusable key scratch: the map
+// lookup indexes by string(keyBuf) without allocating; only a miss (a new
+// group) pays for materialising the key string.
+func (o *opAgg) rowGroup(vals []rel.Value) *aggGroup {
+	o.keyBuf = rel.EncodeKeyInto(o.keyBuf[:0], vals, o.node.GroupBy)
+	if g, ok := o.groups[string(o.keyBuf)]; ok {
+		return g
+	}
+	return o.getGroup(vals, string(o.keyBuf))
+}
+
 // argValue evaluates one aggregate argument under current values.
 // ok=false means NULL (the row is skipped for this aggregate).
 func argValue(sp aggSpecC, r delta.Row, bc *batchContext) (float64, bool) {
@@ -186,12 +210,17 @@ func argValue(sp aggSpecC, r delta.Row, bc *batchContext) (float64, bool) {
 	return v.Float(), true
 }
 
-// argReps evaluates the per-replicate values of an uncertain argument.
-func argReps(sp aggSpecC, r delta.Row, bc *batchContext) []float64 {
+// argReps evaluates the per-replicate values of an uncertain argument into
+// dst (grown as needed). Callers that fold the result immediately pass a
+// reusable scratch; callers that retain it pass nil.
+func argReps(sp aggSpecC, r delta.Row, bc *batchContext, dst []float64) []float64 {
 	if bc.trials == 0 {
 		return nil
 	}
-	reps := make([]float64, bc.trials)
+	if cap(dst) < bc.trials {
+		dst = make([]float64, bc.trials)
+	}
+	reps := dst[:bc.trials]
 	for b := 0; b < bc.trials; b++ {
 		v := sp.arg.EvalRep(r.Vals, bc, b)
 		if v.IsNumeric() {
@@ -258,8 +287,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 		var batchGroups []*aggGroup
 		groupRows := make(map[*aggGroup][]int32)
 		for i, r := range in.news {
-			key := rel.EncodeKey(r.Vals, o.node.GroupBy)
-			g := o.getGroup(r.Vals, key)
+			g := o.rowGroup(r.Vals)
 			g.certain = true
 			g.support++
 			if o.hasLazy {
@@ -312,8 +340,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	} else {
 		seqFold := func() {
 			for _, r := range in.news {
-				key := rel.EncodeKey(r.Vals, o.node.GroupBy)
-				g := o.getGroup(r.Vals, key)
+				g := o.rowGroup(r.Vals)
 				g.certain = true
 				g.support++
 				if o.hasLazy {
@@ -335,13 +362,13 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	// pooled across batches and lazily reset on first touch of the epoch.
 	o.epoch++
 	if o.scratchPool == nil {
-		o.scratchPool = make(map[string]*scratchEntry)
+		o.scratchPool = make(map[*aggGroup]*scratchEntry)
 	}
-	scratchVec := func(key string, si int) *agg.Vector {
-		e := o.scratchPool[key]
+	scratchVec := func(g *aggGroup, si int) *agg.Vector {
+		e := o.scratchPool[g]
 		if e == nil {
 			e = &scratchEntry{vecs: make([]*agg.Vector, len(o.specs))}
-			o.scratchPool[key] = e
+			o.scratchPool[g] = e
 		}
 		if e.epoch != o.epoch {
 			e.epoch = o.epoch
@@ -356,8 +383,8 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 		}
 		return e.vecs[si]
 	}
-	liveScratch := func(key string, si int) *agg.Vector {
-		e := o.scratchPool[key]
+	liveScratch := func(g *aggGroup, si int) *agg.Vector {
+		e := o.scratchPool[g]
 		if e == nil || e.epoch != o.epoch {
 			return nil
 		}
@@ -369,7 +396,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	// order. Lineage rows fold only the lazy (uncertain-argument) specs;
 	// pending rows fold every spec.
 	type scratchRow struct {
-		key  string
+		g    *aggGroup
 		row  delta.Row
 		pend bool
 	}
@@ -382,17 +409,16 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			}
 			bc.recomputed += g.lazy.Len()
 			for _, r := range g.lazy.Rows {
-				work = append(work, scratchRow{key: key, row: r})
+				work = append(work, scratchRow{g: g, row: r})
 			}
 		}
 	}
-	touched := make(map[string]bool)
+	touched := make(map[*aggGroup]bool)
 	bc.recomputed += len(in.unc)
 	for _, r := range in.unc {
-		key := rel.EncodeKey(r.Vals, o.node.GroupBy)
-		o.getGroup(r.Vals, key)
-		touched[key] = true
-		work = append(work, scratchRow{key: key, row: r, pend: true})
+		g := o.rowGroup(r.Vals)
+		touched[g] = true
+		work = append(work, scratchRow{g: g, row: r, pend: true})
 	}
 	applies := func(wr *scratchRow, si int) bool {
 		return wr.pend || o.specs[si].argUncertain
@@ -413,9 +439,10 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 					continue
 				}
 				if sp.argUncertain {
-					scratchVec(wr.key, si).AddRep(val, argReps(*sp, wr.row, bc), wr.row.Mult, wr.row.W)
+					o.repsBuf = argReps(*sp, wr.row, bc, o.repsBuf)
+					scratchVec(wr.g, si).AddRep(val, o.repsBuf, wr.row.Mult, wr.row.W)
 				} else {
-					scratchVec(wr.key, si).Add(val, wr.row.Mult, wr.row.W)
+					scratchVec(wr.g, si).Add(val, wr.row.Mult, wr.row.W)
 				}
 			}
 		}
@@ -427,7 +454,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			wr := &work[wi]
 			for si := range o.specs {
 				if applies(wr, si) {
-					scratchVec(wr.key, si)
+					scratchVec(wr.g, si)
 				}
 			}
 		}
@@ -459,7 +486,9 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 					}
 					cells[si] = evalCell{val: val, ok: true}
 					if sp.argUncertain {
-						cells[si].reps = argReps(*sp, wr.row, bc)
+						// Retained until the gather stage — cannot reuse
+						// a per-lane scratch here.
+						cells[si].reps = argReps(*sp, wr.row, bc, nil)
 					}
 				}
 				evals[wi] = cells
@@ -484,7 +513,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 				if !cell.ok {
 					continue
 				}
-				vec := scratchVec(wr.key, si)
+				vec := scratchVec(wr.g, si)
 				it := byVec[vec]
 				if it == nil {
 					it = &scratchItem{vec: vec}
@@ -537,7 +566,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 		for si := range o.specs {
 			sp := &o.specs[si]
 			vec := g.sketch[si]
-			if sv := liveScratch(key, si); sv != nil {
+			if sv := liveScratch(g, si); sv != nil {
 				// Read through a reusable merge buffer: reset + two
 				// merges cost no allocation (vs cloning the sketch).
 				if o.mergeBuf == nil {
@@ -579,7 +608,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 		if hdaRecompute {
 			// Delete+insert value updates: every live group flows as a
 			// tuple-uncertain row, every batch.
-			if g.certain || touched[key] {
+			if g.certain || touched[g] {
 				out.unc = append(out.unc, delta.Row{Vals: rowVals, Mult: 1})
 			}
 			continue
@@ -589,7 +618,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 				g.emitted = true
 				out.news = append(out.news, delta.Row{Vals: rowVals, Mult: 1})
 			}
-		} else if touched[key] {
+		} else if touched[g] {
 			out.unc = append(out.unc, delta.Row{Vals: rowVals, Mult: 1})
 		}
 	}
@@ -643,6 +672,9 @@ func (o *opAgg) snapshot() interface{} {
 
 func (o *opAgg) restore(snap interface{}) {
 	s := snap.(aggSnap)
+	// The scratch pool is keyed by group pointer; restoring rebuilds every
+	// group, so drop the pool rather than strand entries on dead pointers.
+	o.scratchPool = nil
 	o.groups = make(map[string]*aggGroup, len(s.groups))
 	o.order = append([]string(nil), s.order...)
 	for k, g := range s.groups {
@@ -668,13 +700,9 @@ func (o *opAgg) restore(snap interface{}) {
 }
 
 func (o *opAgg) stateBytes() int {
-	// Sketch footprints are constant per spec; compute once instead of
-	// walking every accumulator of every group.
-	perGroup := 64
-	for si := range o.specs {
-		perGroup += 48 + (1+o.trials)*o.specs[si].fn.New().SizeBytes()
-	}
-	n := perGroup * len(o.groups)
+	// Sketch footprints are constant per spec (precomputed at construction
+	// so this never allocates probe vectors).
+	n := o.groupBytes * len(o.groups)
 	if o.hasLazy {
 		for _, g := range o.groups {
 			n += g.lazy.SizeBytes()

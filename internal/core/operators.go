@@ -97,11 +97,21 @@ func (o *opScan) step(bc *batchContext) (output, error) {
 		}
 		rows := make([]delta.Row, d.Len())
 		base := o.next
+		// One weight slab per batch: every tuple's vector is a capped
+		// sub-slice filled in place, so weight derivation performs no
+		// per-tuple allocation on either the sequential or parallel path
+		// (disjoint sub-slices make the parallel fill race-free).
+		var slab []float64
+		trials := 0
+		if o.poisson != nil {
+			trials = o.poisson.Trials()
+			slab = bc.weightArena(d.Len(), trials)
+		}
 		fill := func(i int) {
 			tp := d.Tuples[i]
 			var w []float64
 			if o.poisson != nil {
-				w = o.poisson.Weights(base + uint64(i))
+				w = o.poisson.WeightsInto(base+uint64(i), slab[i*trials:(i+1)*trials:(i+1)*trials])
 			}
 			rows[i] = delta.Row{Vals: tp.Vals, Mult: tp.Mult, W: w}
 		}
@@ -730,30 +740,39 @@ func (o *opSink) materialize(bc *batchContext) (*rel.Relation, [][]bootstrap.Est
 	res := rel.NewRelation(o.schema)
 	res.Tuples = make([]rel.Tuple, len(rows))
 	ests := make([][]bootstrap.Estimate, len(rows))
-	emit := func(idx int) {
-		r := rows[idx]
-		vals := make([]rel.Value, len(o.exprs))
-		rowEst := make([]bootstrap.Estimate, len(o.exprs))
-		for i, e := range o.exprs {
-			v := e.Eval(r.Vals, bc)
-			vals[i] = v
-			if o.unc[i] && bc.trials > 0 && !bc.exact && v.IsNumeric() {
-				reps := make([]float64, bc.trials)
-				for b := 0; b < bc.trials; b++ {
-					rv := e.EvalRep(r.Vals, bc, b)
-					if rv.IsNumeric() {
-						reps[b] = rv.Float()
-					} else {
-						reps[b] = math.NaN()
-					}
-				}
-				rowEst[i] = bootstrap.Summarize(v.Float(), reps)
-			} else if v.IsNumeric() {
-				rowEst[i] = bootstrap.Estimate{Value: v.Float()}
-			}
+	// emitRange renders rows [lo, hi) sharing one replicate buffer and one
+	// SummarizeInto sort scratch per range — each (row, column) estimate
+	// consumes its replicates before the next reuses the buffers, so a lane
+	// pays two allocations total instead of two per uncertain cell.
+	emitRange := func(lo, hi int) {
+		var reps, scratch []float64
+		if bc.trials > 0 {
+			reps = make([]float64, bc.trials)
 		}
-		res.Tuples[idx] = rel.Tuple{Vals: vals, Mult: r.Mult * scale}
-		ests[idx] = rowEst
+		for idx := lo; idx < hi; idx++ {
+			r := rows[idx]
+			vals := make([]rel.Value, len(o.exprs))
+			rowEst := make([]bootstrap.Estimate, len(o.exprs))
+			for i, e := range o.exprs {
+				v := e.Eval(r.Vals, bc)
+				vals[i] = v
+				if o.unc[i] && bc.trials > 0 && !bc.exact && v.IsNumeric() {
+					for b := 0; b < bc.trials; b++ {
+						rv := e.EvalRep(r.Vals, bc, b)
+						if rv.IsNumeric() {
+							reps[b] = rv.Float()
+						} else {
+							reps[b] = math.NaN()
+						}
+					}
+					rowEst[i], scratch = bootstrap.SummarizeInto(v.Float(), reps, scratch)
+				} else if v.IsNumeric() {
+					rowEst[i] = bootstrap.Estimate{Value: v.Float()}
+				}
+			}
+			res.Tuples[idx] = rel.Tuple{Vals: vals, Mult: r.Mult * scale}
+			ests[idx] = rowEst
+		}
 	}
 	if bc.distSite(len(rows)) {
 		// Distributed site: each replica materialises one span (tuples and
@@ -762,11 +781,7 @@ func (o *opSink) materialize(bc *batchContext) (*rel.Relation, [][]bootstrap.Est
 		// bit patterns, is identical on all replicas.
 		bc.exchange(cluster.CostSink, len(rows),
 			func(lo, hi int) ([]byte, error) {
-				bc.spanChunks(cluster.CostSink, lo, hi, func(a, b int) {
-					for i := a; i < b; i++ {
-						emit(i)
-					}
-				})
+				bc.spanChunks(cluster.CostSink, lo, hi, emitRange)
 				return encodeSinkSpan(res, ests, lo, hi, len(o.exprs))
 			},
 			func(lo, hi int, p []byte) error {
@@ -775,11 +790,9 @@ func (o *opSink) materialize(bc *batchContext) (*rel.Relation, [][]bootstrap.Est
 		return res, ests
 	}
 	if bc.pool != nil && len(rows) >= 64 && bc.trials > 0 {
-		bc.pool.Map(len(rows), emit)
+		bc.pool.MapChunks(len(rows), func(_, lo, hi int) { emitRange(lo, hi) })
 	} else {
-		for i := range rows {
-			emit(i)
-		}
+		emitRange(0, len(rows))
 	}
 	return res, ests
 }

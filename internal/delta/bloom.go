@@ -1,0 +1,79 @@
+// Per-run Bloom filters for spilled HashStore shards. The min-max key
+// filters (state.go) cut probes that fall outside every run's key interval,
+// but a run built from a sparse key set covers a wide interval most of
+// whose interior keys it does not contain — the "sparse in-range miss". A
+// small Bloom filter per run, built over exactly the keys written to the
+// run at spill time, rejects those probes before the run index and the
+// spill file are touched.
+//
+// Correctness: a filter is built from the complete key set of its run and
+// is never updated afterwards. Restore only removes rows, so the filter
+// remains a superset of the run's live keys — false positives fall through
+// to the exact spilled-key map (a wasted lookup, never a wrong answer) and
+// false negatives are impossible. Filters are dropped together with the
+// min-max ranges when a restore empties the shard's disk state. Hashing is
+// fully deterministic (FNV-1a double hashing, no per-process seed), so
+// skip counts are identical across runs and worker counts.
+package delta
+
+// bloomBitsPerKey sizes a filter at 12 bits per key (~0.3% false-positive
+// rate with the 8 probes of bloomHashes).
+const (
+	bloomBitsPerKey = 12
+	bloomHashes     = 8
+)
+
+// bloom is a fixed-size Bloom filter with power-of-two bit count, probed by
+// Kirsch-Mitzenmacher double hashing: bit_i = h1 + i·h2.
+type bloom struct {
+	bits []uint64
+	mask uint64 // bit-count − 1
+}
+
+// bloomHash derives the two independent 64-bit hashes of a key: FNV-1a for
+// h1, and a SplitMix64 finalisation of h1 for h2 (forced odd so the probe
+// stride never collapses on the power-of-two table).
+func bloomHash(key string) (h1, h2 uint64) {
+	h1 = 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h1 ^= uint64(key[i])
+		h1 *= 0x100000001b3
+	}
+	h2 = h1
+	h2 = (h2 ^ (h2 >> 30)) * 0xbf58476d1ce4e5b9
+	h2 = (h2 ^ (h2 >> 27)) * 0x94d049bb133111eb
+	h2 ^= h2 >> 31
+	h2 |= 1
+	return h1, h2
+}
+
+// newBloom builds a filter over the given keys.
+func newBloom(keys []string) *bloom {
+	bits := uint64(len(keys) * bloomBitsPerKey)
+	// Round up to a power of two, at least one word.
+	size := uint64(64)
+	for size < bits {
+		size <<= 1
+	}
+	b := &bloom{bits: make([]uint64, size/64), mask: size - 1}
+	for _, k := range keys {
+		h1, h2 := bloomHash(k)
+		for i := 0; i < bloomHashes; i++ {
+			bit := (h1 + uint64(i)*h2) & b.mask
+			b.bits[bit>>6] |= 1 << (bit & 63)
+		}
+	}
+	return b
+}
+
+// has reports whether the key may be in the run (definitely not when false).
+func (b *bloom) has(key string) bool {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < bloomHashes; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		if b.bits[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -124,7 +124,12 @@ type shard struct {
 	// cannot match any spilled row and skips the run index entirely. Ranges
 	// are only ever a superset of the live runs (Restore keeps them as-is
 	// while runs remain), which can cost a skip but never correctness.
-	ranges  []keyRange
+	ranges []keyRange
+	// blooms holds one Bloom filter per spill run, parallel to ranges,
+	// built over exactly the run's keys at spill time. Consulted after the
+	// min-max filter for sparse in-range misses; like ranges, filters stay
+	// a superset of the live runs under Restore (bloom.go).
+	blooms  []*bloom
 	mem     int // resident bytes of hot rows
 	disk    int // logical bytes of spilled rows
 	onDisk  int // spilled row count
@@ -142,6 +147,22 @@ func (sh *shard) covers(k string) bool {
 		if k >= r.min && k <= r.max {
 			return true
 		}
+	}
+	return false
+}
+
+// mayContain refines covers with the per-run Bloom filters: the key can only
+// be spilled if some run both spans it and bloom-admits it. A run without a
+// filter (never happens today, but nil stays safe) counts as "maybe".
+func (sh *shard) mayContain(k string) bool {
+	for i, r := range sh.ranges {
+		if k < r.min || k > r.max {
+			continue
+		}
+		if i < len(sh.blooms) && sh.blooms[i] != nil && !sh.blooms[i].has(k) {
+			continue
+		}
+		return true
 	}
 	return false
 }
@@ -169,6 +190,17 @@ func NewHashStore(keyCols []int) *HashStore {
 }
 
 func shardOf(key string) int {
+	var f uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		f ^= uint64(key[i])
+		f *= 0x100000001b3
+	}
+	return int(f % storeShards)
+}
+
+// shardOfBytes is shardOf over the raw key bytes (same FNV-1a stream, so the
+// two always agree for equal contents).
+func shardOfBytes(key []byte) int {
 	var f uint64 = 0xcbf29ce484222325
 	for i := 0; i < len(key); i++ {
 		f ^= uint64(key[i])
@@ -264,19 +296,33 @@ func (h *HashStore) AddBatch(rows []Row, clone bool, pool *cluster.Pool) {
 // process-local scratch whose loss is unrecoverable within the process — the
 // engine's §5.1 snapshot/replay handles process-level failures.
 func (h *HashStore) Probe(probeVals []rel.Value, probeKeys []int) []Row {
-	k := rel.EncodeKey(probeVals, probeKeys)
-	s := shardOf(k)
+	// Encode the probe key into a stack buffer: the hot-map access indexes
+	// by string(buf), which the compiler compiles to a no-copy lookup, so
+	// the common all-resident probe allocates nothing. Only a probe against
+	// a shard with spilled rows materialises the key string.
+	var kb [96]byte
+	buf := rel.EncodeKeyInto(kb[:0], probeVals, probeKeys)
+	s := shardOfBytes(buf)
 	sh := &h.shards[s]
-	hot := sh.hot[k]
+	hot := sh.hot[string(buf)]
 	if sh.onDisk == 0 {
 		return hot
 	}
+	k := string(buf)
 	if !sh.covers(k) {
 		// Min-max filtered: the key is outside every run's range, so no
 		// spilled row can match. Counted so the experiments can report how
 		// often the filters save the run-index walk.
 		if h.sp != nil {
 			h.sp.policy.metrics.RecordSpillProbeSkip()
+		}
+		return hot
+	}
+	if !sh.mayContain(k) {
+		// Bloom filtered: inside some run's range, but every covering run's
+		// filter rejects the key — the sparse in-range miss.
+		if h.sp != nil {
+			h.sp.policy.metrics.RecordSpillBloomSkip()
 		}
 		return hot
 	}
@@ -455,9 +501,10 @@ func (h *HashStore) restoreShard(s int, snap *HashSnap) {
 		}
 	}
 	if sh.onDisk == 0 {
-		// No spilled rows survive; drop the stale min-max filters (while
-		// runs remain, the ranges stay as a superset, which is always safe).
+		// No spilled rows survive; drop the stale min-max and Bloom filters
+		// (while runs remain, both stay supersets, which is always safe).
 		sh.ranges = nil
+		sh.blooms = nil
 	}
 	if h.sp != nil {
 		h.sp.truncateTo(s, maxEnd)

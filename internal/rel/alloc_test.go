@@ -1,0 +1,42 @@
+package rel
+
+import "testing"
+
+// TestEncodeKeyIntoZeroAllocs pins per-row group-key encoding at zero
+// allocations once the scratch buffer has reached steady-state capacity —
+// the property the aggregate operator's rowGroup fast path depends on.
+func TestEncodeKeyIntoZeroAllocs(t *testing.T) {
+	vals := []Value{Int(12345), String("widget-9"), Float(3.75), Bool(true), Null()}
+	cols := []int{0, 1, 2, 3, 4}
+	buf := EncodeKeyInto(nil, vals, cols) // warm to steady-state capacity
+	if got := testing.AllocsPerRun(200, func() {
+		buf = EncodeKeyInto(buf[:0], vals, cols)
+	}); got != 0 {
+		t.Errorf("EncodeKeyInto with warm buffer allocates %v per call, want 0", got)
+	}
+	if string(buf) != EncodeKey(vals, cols) {
+		t.Errorf("EncodeKeyInto = %q, EncodeKey = %q", buf, EncodeKey(vals, cols))
+	}
+}
+
+// TestMapIndexByEncodedKeyZeroAllocs proves the full lookup idiom —
+// encode into scratch, index the map with string(buf) — stays heap-free:
+// the compiler elides the string conversion for a direct map index.
+func TestMapIndexByEncodedKeyZeroAllocs(t *testing.T) {
+	vals := []Value{Int(7), String("k")}
+	cols := []int{0, 1}
+	m := map[string]int{EncodeKey(vals, cols): 42}
+	buf := make([]byte, 0, 64)
+	found := 0
+	if got := testing.AllocsPerRun(200, func() {
+		buf = EncodeKeyInto(buf[:0], vals, cols)
+		if _, ok := m[string(buf)]; ok {
+			found++
+		}
+	}); got != 0 {
+		t.Errorf("encode+map-index allocates %v per call, want 0", got)
+	}
+	if found == 0 {
+		t.Fatal("lookup never hit")
+	}
+}

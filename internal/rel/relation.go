@@ -90,17 +90,25 @@ func EncodeKey(vals []Value, cols []int) string {
 	if len(cols) == 0 {
 		return ""
 	}
-	var b strings.Builder
+	return string(EncodeKeyInto(nil, vals, cols))
+}
+
+// EncodeKeyInto appends the canonical key bytes to buf and returns it — the
+// allocation-free form of EncodeKey for callers that reuse a scratch buffer
+// (pass buf[:0]) and look groups up via m[string(buf)], which the compiler
+// turns into a no-copy map access. EncodeKey is defined in terms of this
+// function, so the two renderings are byte-identical by construction.
+func EncodeKeyInto(buf []byte, vals []Value, cols []int) []byte {
 	for i, c := range cols {
 		if i > 0 {
-			b.WriteByte('\x1f')
+			buf = append(buf, '\x1f')
 		}
 		v := vals[c]
 		// Tag the kind so 1 (int) and "1" (string) do not collide.
-		b.WriteByte(byte('0' + v.kind))
-		b.WriteString(v.String())
+		buf = append(buf, byte('0'+v.kind))
+		buf = v.appendTo(buf)
 	}
-	return b.String()
+	return buf
 }
 
 // Canon returns a canonicalised copy: tuples with equal values are merged

@@ -256,6 +256,35 @@ func (v Value) String() string {
 	return "?"
 }
 
+// appendTo appends exactly the String rendering to b — the allocation-free
+// form used by EncodeKeyInto (strconv's Append variants produce the same
+// bytes as the Format variants, which are implemented on top of them).
+func (v Value) appendTo(b []byte) []byte {
+	switch v.kind {
+	case KNull:
+		return append(b, "NULL"...)
+	case KBool:
+		if v.i != 0 {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	case KInt:
+		return strconv.AppendInt(b, v.i, 10)
+	case KFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return strconv.AppendFloat(b, v.f, 'f', 1, 64)
+		}
+		return strconv.AppendFloat(b, v.f, 'g', 6, 64)
+	case KString:
+		return append(b, v.s...)
+	case KRef:
+		// Refs never appear in group keys on the hot path; keep fmt's
+		// quoting by falling back to the String rendering.
+		return append(b, v.String()...)
+	}
+	return append(b, '?')
+}
+
 // NumericKey maps the value onto a float64 usable as an aggregation input:
 // numeric values map to themselves; other kinds map to a 52-bit FNV-1a hash
 // of their kind-tagged rendering. Used by aggregates that accept arbitrary
