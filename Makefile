@@ -46,8 +46,10 @@ bench-skew:
 # Distributed-execution benchmark: local vs loopback vs TCP (2 workers on
 # localhost) on TPC-H Q3/Q17. Distribution on one machine is pure overhead;
 # the figures of interest are the transport cost and the measured wire
-# bytes (deterministic, identical between loopback and TCP). Writes
-# BENCH_dist.json.
+# bytes (deterministic, identical between loopback and TCP). Also runs the
+# elastic autoscale scenario (workers 2 -> 4 -> 2 mid-run, bit-identical)
+# and the partitioned-shipping comparison (hash-partitioned vs replicated
+# build table, setup broadcast bytes). Writes BENCH_dist.json.
 bench-dist:
 	$(GO) run ./cmd/benchdist -o BENCH_dist.json
 
@@ -62,7 +64,7 @@ bench-agg:
 # steady state of the kernel fold, the weight generator, and key encoding
 # at zero. GOMAXPROCS irrelevant — the tests cover Workers=1 and parallel.
 alloc-test:
-	$(GO) test -run 'Alloc' ./internal/agg ./internal/bootstrap ./internal/core ./internal/rel
+	$(GO) test -run 'Alloc' ./internal/agg ./internal/bootstrap ./internal/cluster ./internal/core ./internal/rel
 
 # Profile a full engine run: cmd/iolap grew -cpuprofile/-memprofile; this
 # target produces both under ./profiles for `go tool pprof`.

@@ -13,6 +13,18 @@
 //
 //   - identical: whether every batch reproduced the local run bit for bit.
 //
+// Two elastic scenarios ride along:
+//
+//   - autoscale: TPC-H Q3 over loopback, scaling 2 → 4 → 2 workers mid-run
+//     (two joiners replay in after batch 2 and leave after batch 5), checked
+//     bit-identical to the local run.
+//
+//   - partitioned shipping: a sessions/dimension join where the build table
+//     is hash-partitioned across workers instead of replicated, reporting
+//     the setup broadcast bytes both ways (TPC-H Q3/Q17 build sides are
+//     ineligible — customer sits on the probe side of Q3 and Q17's part is
+//     filtered — so this uses an inline fixture).
+//
 //     benchdist -o BENCH_dist.json
 //     benchdist -fact 4000 -batches 10 -reps 5
 package main
@@ -21,15 +33,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
+	"iolap/internal/agg"
 	"iolap/internal/core"
 	"iolap/internal/dist"
+	"iolap/internal/exec"
+	"iolap/internal/expr"
 	"iolap/internal/rel"
+	"iolap/internal/sql"
 	"iolap/internal/workload"
 )
 
@@ -47,13 +65,34 @@ type queryResult struct {
 	TCP      transportResult `json:"tcp"`
 }
 
+type elasticResult struct {
+	Query        string `json:"query"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	PeakWorkers  int    `json:"peak_workers"`
+	FinalWorkers int    `json:"final_workers"`
+	Identical    bool   `json:"identical"`
+}
+
+type partitionResult struct {
+	Query              string  `json:"query"`
+	DimRows            int     `json:"dim_rows"`
+	Workers            int     `json:"workers"`
+	Partitions         int     `json:"partitions"`
+	ReplicatedSetupB   int64   `json:"replicated_setup_broadcast_bytes"`
+	PartitionedSetupB  int64   `json:"partitioned_setup_broadcast_bytes"`
+	SetupBytesSavedPct float64 `json:"setup_bytes_saved_pct"`
+	Identical          bool    `json:"identical"`
+}
+
 type report struct {
-	Fact    int           `json:"fact_rows"`
-	Batches int           `json:"batches"`
-	Workers int           `json:"workers"`
-	Cores   int           `json:"cores"`
-	Reps    int           `json:"reps"`
-	Results []queryResult `json:"results"`
+	Fact        int             `json:"fact_rows"`
+	Batches     int             `json:"batches"`
+	Workers     int             `json:"workers"`
+	Cores       int             `json:"cores"`
+	Reps        int             `json:"reps"`
+	Results     []queryResult   `json:"results"`
+	Elastic     elasticResult   `json:"elastic_autoscale"`
+	Partitioned partitionResult `json:"partitioned_shipping"`
 }
 
 func main() {
@@ -73,6 +112,7 @@ func main() {
 	opts := core.Options{Batches: *batches, Trials: *trials, Slack: 2.0,
 		Seed: *seed, Workers: 1}
 
+	var refQ3 *measurement
 	for _, name := range []string{"Q3", "Q17"} {
 		q, ok := w.Query(name)
 		if !ok {
@@ -82,6 +122,9 @@ func main() {
 		ref, err := measure(w, q, opts, "local", *reps, nil)
 		if err != nil {
 			fatal(err)
+		}
+		if name == "Q3" {
+			refQ3 = ref
 		}
 		qr.Local = ref.result
 		for _, tr := range []string{"loopback", "tcp"} {
@@ -102,6 +145,23 @@ func main() {
 			float64(qr.TCP.NsPerOp)/1e6, qr.TCP.WireShuffleB, qr.TCP.WireBroadcastB,
 			qr.Loopback.Identical && qr.TCP.Identical)
 	}
+
+	el, err := elasticAutoscale(w, opts, *reps, refQ3.updates)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Elastic = *el
+	fmt.Printf("autoscale %s: %.2fms  workers 2->%d->%d  identical=%v\n",
+		el.Query, float64(el.NsPerOp)/1e6, el.PeakWorkers, el.FinalWorkers, el.Identical)
+
+	pt, err := partitionedShipping(*batches, *trials, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Partitioned = *pt
+	fmt.Printf("partitioned shipping (%d-row dim, %d workers): setup broadcast %dB -> %dB (%.1f%% saved)  identical=%v\n",
+		pt.DimRows, pt.Workers, pt.ReplicatedSetupB, pt.PartitionedSetupB,
+		pt.SetupBytesSavedPct, pt.Identical)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -227,6 +287,210 @@ func runOnce(w *workload.Workload, q workload.Query, opts core.Options, transpor
 		return updates, sh, bc, nil
 	}
 	return updates, 0, 0, nil
+}
+
+// elasticAutoscale runs Q3 over loopback while the worker set scales
+// 2 → 4 → 2: two joiners are admitted after batch 2 (each replays the
+// completed batches before entering the live set) and leave after batch 5.
+// ref is the local run; the scaled run must match it batch for batch.
+func elasticAutoscale(w *workload.Workload, opts core.Options, reps int, ref []*core.Update) (*elasticResult, error) {
+	q, ok := w.Query("Q3")
+	if !ok {
+		return nil, fmt.Errorf("no Q3 in workload")
+	}
+	res := &elasticResult{Query: "Q3", Identical: true}
+	durs := make([]time.Duration, reps)
+	for i := range durs {
+		start := time.Now()
+		updates, peak, final, err := runAutoscaleOnce(w, q, opts)
+		if err != nil {
+			return nil, fmt.Errorf("autoscale: %w", err)
+		}
+		durs[i] = time.Since(start)
+		res.PeakWorkers, res.FinalWorkers = peak, final
+		res.Identical = res.Identical && sameRun(updates, ref)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	res.NsPerOp = durs[len(durs)/2].Nanoseconds()
+	return res, nil
+}
+
+func runAutoscaleOnce(w *workload.Workload, q workload.Query, opts core.Options) (updates []*core.Update, peak, final int, err error) {
+	conns, stop := dist.StartLoopback(2, dist.WorkerOptions{Workers: 1})
+	defer stop()
+	coord := dist.NewCoordinator(conns, dist.Config{MinRows: 1})
+	defer coord.Close()
+	streamed := make(map[string]bool, len(w.Tables))
+	for name := range w.Tables {
+		streamed[name] = name == q.Stream
+	}
+	if err := coord.Setup(w.DB(), streamed, q.SQL, opts); err != nil {
+		return nil, 0, 0, err
+	}
+	opts.Exchange = coord
+	node, _, err := w.Plan(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	eng, err := core.NewEngine(node, w.DB(), opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	upAt, downAt := 2, 5
+	if opts.Batches < 6 {
+		upAt, downAt = 1, 2
+	}
+	var joined []net.Conn
+	for !eng.Done() {
+		u, err := coord.Step(eng)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		updates = append(updates, u)
+		if lw := coord.LiveWorkers(); lw > peak {
+			peak = lw
+		}
+		switch len(updates) {
+		case upAt: // scale up: two joiners replay in
+			for i := 0; i < 2; i++ {
+				cc, sc := net.Pipe()
+				go func(c net.Conn) {
+					dist.ServeConn(c, dist.WorkerOptions{Workers: 1})
+					c.Close()
+				}(sc)
+				coord.Admit(cc)
+				joined = append(joined, cc)
+			}
+		case downAt: // scale down: the joiners leave
+			for _, c := range joined {
+				c.Close()
+			}
+		}
+	}
+	return updates, peak, coord.LiveWorkers(), nil
+}
+
+// partitionedShipping compares whole-table replication against hash-
+// partitioned shipping of a large build-side dimension, on an inline
+// sessions/cdns join (the TPC-H build sides are ineligible). Reported
+// setup broadcast bytes isolate what each worker receives at Setup; both
+// runs must match the local oracle bit for bit.
+func partitionedShipping(batches, trials int, seed uint64) (*partitionResult, error) {
+	const (
+		factRows = 2000
+		dimRows  = 4096
+		workers  = 4
+	)
+	query := "SELECT c.region, SUM(s.play_time) AS spt FROM sessions s, cdns c WHERE s.cdn = c.cdn GROUP BY c.region"
+	opts := core.Options{Batches: batches, Trials: trials, Slack: 2.0,
+		Seed: seed, Workers: 1}
+	popts := opts
+	popts.PartitionTables = []string{"cdns"}
+	popts.Partitions = workers
+
+	local, _, err := runSessionsJoin(query, opts, factRows, dimRows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("partitioned/local: %w", err)
+	}
+	repl, replSetup, err := runSessionsJoin(query, opts, factRows, dimRows, workers)
+	if err != nil {
+		return nil, fmt.Errorf("partitioned/replicated: %w", err)
+	}
+	part, partSetup, err := runSessionsJoin(query, popts, factRows, dimRows, workers)
+	if err != nil {
+		return nil, fmt.Errorf("partitioned/partitioned: %w", err)
+	}
+	res := &partitionResult{
+		Query: "sessions_dim_join", DimRows: dimRows, Workers: workers,
+		Partitions: workers, ReplicatedSetupB: replSetup, PartitionedSetupB: partSetup,
+		Identical: sameRun(repl, local) && sameRun(part, local),
+	}
+	if replSetup > 0 {
+		res.SetupBytesSavedPct = 100 * (1 - float64(partSetup)/float64(replSetup))
+	}
+	return res, nil
+}
+
+// sessionsDB builds the inline fixture: factRows sessions over a dimRows
+// dimension keyed by cdn.
+func sessionsDB(factRows, dimRows int, seed int64) *exec.DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := exec.NewDB()
+	sessions := rel.NewRelation(rel.Schema{
+		{Name: "session_id", Type: rel.KString},
+		{Name: "buffer_time", Type: rel.KFloat},
+		{Name: "play_time", Type: rel.KFloat},
+		{Name: "cdn", Type: rel.KString},
+	})
+	for i := 0; i < factRows; i++ {
+		sessions.Append(
+			rel.String("s"+strconv.Itoa(i)),
+			rel.Float(float64(10+rng.Intn(500))/10),
+			rel.Float(float64(300+rng.Intn(6000))/10),
+			rel.String("c"+strconv.Itoa(rng.Intn(dimRows))),
+		)
+	}
+	db.Put("sessions", sessions)
+	cdns := rel.NewRelation(rel.Schema{
+		{Name: "cdn", Type: rel.KString},
+		{Name: "region", Type: rel.KString},
+	})
+	for i := 0; i < dimRows; i++ {
+		cdns.Append(rel.String("c"+strconv.Itoa(i)), rel.String("r"+strconv.Itoa(i%8)))
+	}
+	db.Put("cdns", cdns)
+	return db
+}
+
+// runSessionsJoin executes the inline fixture query locally (workers == 0)
+// or over that many loopback workers, returning the updates and the wire
+// broadcast bytes measured immediately after Setup (the table shipping).
+func runSessionsJoin(query string, opts core.Options, factRows, dimRows, workers int) ([]*core.Update, int64, error) {
+	db := sessionsDB(factRows, dimRows, 0)
+	var coord *dist.Coordinator
+	var setupBytes int64
+	if workers > 0 {
+		conns, stop := dist.StartLoopback(workers, dist.WorkerOptions{Workers: 1})
+		defer stop()
+		coord = dist.NewCoordinator(conns, dist.Config{MinRows: 1})
+		defer coord.Close()
+		if err := coord.Setup(db, map[string]bool{"sessions": true}, query, opts); err != nil {
+			return nil, 0, err
+		}
+		_, setupBytes = coord.WireStats()
+		opts.Exchange = coord
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	cat := sql.NewCatalog()
+	sessions, _ := db.Get("sessions")
+	cdns, _ := db.Get("cdns")
+	cat.AddTable("sessions", sessions.Schema, true)
+	cat.AddTable("cdns", cdns.Schema, false)
+	node, _, err := sql.NewPlanner(cat, expr.NewRegistry(), agg.NewRegistry()).Plan(stmt)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng, err := core.NewEngine(node, db, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	var updates []*core.Update
+	for !eng.Done() {
+		var u *core.Update
+		if coord != nil {
+			u, err = coord.Step(eng)
+		} else {
+			u, err = eng.Step()
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		updates = append(updates, u)
+	}
+	return updates, setupBytes, nil
 }
 
 func fatal(err error) {

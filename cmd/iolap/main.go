@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -52,7 +53,11 @@ func main() {
 		workers      = flag.Int("workers", 0, "partition-parallel workers (0 = GOMAXPROCS; results identical at any count)")
 		stateBudget  = flag.Int64("state-budget", 0, "join-state budget in bytes: above it cold shards spill to disk (0 = unlimited, negative = spill everything; results identical at any budget)")
 		workerAddr   = flag.String("worker", "", "run as a distributed worker listening on host:port (serves coordinators forever; ignores the query flags)")
+		joinAddr     = flag.String("join", "", "dial a coordinator's -dist-elastic address and join its running query as a worker (exits when the query ends)")
 		distAddrs    = flag.String("dist", "", "comma-separated worker addresses (host:port,...): distribute execution across them (results identical to local)")
+		distPart     = flag.String("dist-partition", "", "comma-separated static build tables to hash-partition across workers instead of replicating (needs -dist; results identical)")
+		distParts    = flag.Int("dist-partitions", 0, "hash-partition count for -dist-partition (0 = worker count)")
+		distElastic  = flag.String("dist-elastic", "", "host:port to accept workers joining mid-query (needs -dist; joiners replay completed batches and enter at the next batch boundary)")
 		costProfile  = flag.String("cost-profile", "", "JSON file with the learned per-row cost profile: read if present, rewritten after the run")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -97,6 +102,21 @@ func main() {
 		}
 		return
 	}
+	if *joinAddr != "" {
+		log.SetPrefix("iolap-worker ")
+		conn, err := net.Dial("tcp", *joinAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		err = dist.ServeConn(conn, dist.WorkerOptions{Workers: *workers, Logf: log.Printf})
+		conn.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *interactive {
 		session, _, err := buildSession(*workloadName, *scale, *seed, *csvSpec, *iolSpec)
 		if err != nil {
@@ -120,7 +140,8 @@ func main() {
 		seed: *seed, mode: *mode, csvSpec: *csvSpec, iolSpec: *iolSpec,
 		stratify: *stratify, showPlan: *showPlan, showStats: *showStats,
 		maxRows: *maxRows, workers: *workers, stateBudget: *stateBudget,
-		distAddrs: *distAddrs, costProfile: *costProfile,
+		distAddrs: *distAddrs, distPartition: *distPart, distPartitions: *distParts,
+		distElastic: *distElastic, costProfile: *costProfile,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iolap:", err)
@@ -133,9 +154,10 @@ type runConfig struct {
 	workload, query, sql, stream    string
 	mode, csvSpec, iolSpec          string
 	stratify, distAddrs             string
+	distPartition, distElastic      string
 	costProfile                     string
 	scale, batches, trials, maxRows int
-	workers                         int
+	workers, distPartitions         int
 	slack                           float64
 	seed                            uint64
 	stateBudget                     int64
@@ -291,6 +313,13 @@ func run(cfg runConfig) error {
 	}
 	if cfg.distAddrs != "" {
 		opts.DistWorkers = strings.Split(cfg.distAddrs, ",")
+	}
+	if cfg.distPartition != "" {
+		opts.DistPartitionTables = strings.Split(cfg.distPartition, ",")
+		opts.DistPartitions = cfg.distPartitions
+	}
+	if cfg.distElastic != "" {
+		opts.DistElasticAddr = cfg.distElastic
 	}
 	if cfg.costProfile != "" {
 		prof, err := loadCostProfile(cfg.costProfile)

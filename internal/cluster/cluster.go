@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 
@@ -101,20 +102,35 @@ func PartitionByKey(r *rel.Relation, keys []int, p int) []*rel.Relation {
 	for i := range out {
 		out[i] = rel.NewRelation(r.Schema)
 	}
+	var scratch []byte
 	for _, t := range r.Tuples {
-		h := fnv1a(rel.EncodeKey(t.Vals, keys))
-		out[h%uint64(p)].Tuples = append(out[h%uint64(p)].Tuples, t)
+		scratch = rel.EncodeKeyInto(scratch[:0], t.Vals, keys)
+		b := KeyBucket(scratch, p)
+		out[b].Tuples = append(out[b].Tuples, t)
 	}
 	return out
 }
 
-func fnv1a(s string) uint64 {
+// KeyHash is the FNV-1a hash over canonical key bytes (rel.EncodeKeyInto)
+// that defines the PartitionByKey placement. Exported so probe-side code
+// (partitioned join shipping in internal/core) can route probe rows to the
+// same bucket as the build rows they match.
+func KeyHash(key []byte) uint64 {
 	var h uint64 = 0xcbf29ce484222325
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= 0x100000001b3
 	}
 	return h
+}
+
+// KeyBucket maps canonical key bytes to one of p partitions, the shared
+// routing function for build-side placement and probe-side shipping.
+func KeyBucket(key []byte, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(KeyHash(key) % uint64(p))
 }
 
 // Shuffle returns a deterministic pseudo-random permutation of the
@@ -134,8 +150,22 @@ func Shuffle(r *rel.Relation, seed uint64) *rel.Relation {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		return z ^ (z >> 31)
 	}
+	// Unbiased bounded sampling (Lemire's multiply-with-rejection): a plain
+	// nextU64()%n favours small residues when n does not divide 2^64. The
+	// rejection zone is [0, 2^64 mod n), hit with probability < n/2^64, so
+	// retries are vanishingly rare for realistic relation sizes.
+	boundedU64 := func(n uint64) uint64 {
+		hi, lo := bits.Mul64(nextU64(), n)
+		if lo < n {
+			thresh := -n % n
+			for lo < thresh {
+				hi, lo = bits.Mul64(nextU64(), n)
+			}
+		}
+		return hi
+	}
 	for i := len(out.Tuples) - 1; i > 0; i-- {
-		j := int(nextU64() % uint64(i+1))
+		j := int(boundedU64(uint64(i + 1)))
 		out.Tuples[i], out.Tuples[j] = out.Tuples[j], out.Tuples[i]
 	}
 	return out

@@ -96,6 +96,46 @@ func TestPartitionByKeyIsDeterministicAndComplete(t *testing.T) {
 	}
 }
 
+func TestPartitionByKeyAllocs(t *testing.T) {
+	// The partition hot path must not allocate a key string per tuple
+	// (PR 5 zero-alloc budget): rel.EncodeKeyInto with a reused scratch
+	// buffer leaves only the output relations and their amortised slice
+	// growth, far below one alloc per tuple.
+	r := intRel(1000)
+	keys := []int{0}
+	allocs := testing.AllocsPerRun(10, func() {
+		PartitionByKey(r, keys, 4)
+	})
+	if allocs > 120 {
+		t.Errorf("PartitionByKey allocates %.0f times for 1000 tuples; key encoding is allocating per tuple", allocs)
+	}
+}
+
+func TestKeyBucketMatchesPartitionByKey(t *testing.T) {
+	// Probe-side routing (KeyBucket over encoded key bytes) must agree with
+	// build-side placement for every tuple.
+	r := intRel(200)
+	keys := []int{0}
+	const p = 8
+	parts := PartitionByKey(r, keys, p)
+	want := make(map[int64]int)
+	for b, part := range parts {
+		for _, t := range part.Tuples {
+			want[t.Vals[0].Int()] = b
+		}
+	}
+	var scratch []byte
+	for _, tp := range r.Tuples {
+		scratch = rel.EncodeKeyInto(scratch[:0], tp.Vals, keys)
+		if got := KeyBucket(scratch, p); got != want[tp.Vals[0].Int()] {
+			t.Fatalf("KeyBucket(%d) = %d, PartitionByKey placed it in %d", tp.Vals[0].Int(), got, want[tp.Vals[0].Int()])
+		}
+	}
+	if KeyBucket([]byte("x"), 0) != 0 || KeyBucket([]byte("x"), 1) != 0 {
+		t.Error("p <= 1 collapses to bucket 0")
+	}
+}
+
 func TestShuffleIsPermutationAndDeterministic(t *testing.T) {
 	r := intRel(50)
 	s1 := Shuffle(r, 42)

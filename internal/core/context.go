@@ -138,6 +138,22 @@ type Options struct {
 	// (Engine.CostSnapshot / the CLI -cost-profile file), replacing the
 	// cold-start priors. Scheduling only — never results.
 	CostSeed map[string]float64
+	// PartitionTables names static build-side tables shipped partitioned
+	// (non-replicated) under distributed execution: each worker receives only
+	// its hash partition (cluster.PartitionByKey over the build-side join
+	// keys) and probes against it via bucket-routed exchange spans. Eligible
+	// tables must be static, appear exactly once in the plan, and be the
+	// direct scan child of a keyed join's right (build) side — compile
+	// rejects anything else loudly. Unlike the scheduling-only options, this
+	// changes the exchange call geometry, so it must be identical on every
+	// replica (the dist setup message ships it).
+	PartitionTables []string
+	// Partitions is the number of hash partitions P for PartitionTables,
+	// fixed for the query lifetime regardless of workers joining or leaving.
+	// Worker rank r (1 ≤ r ≤ P) owns partition r-1; the coordinator computes
+	// orphaned partitions locally. Required (> 0) when PartitionTables is
+	// set.
+	Partitions int
 }
 
 func (o Options) withDefaults() Options {

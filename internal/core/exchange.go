@@ -232,6 +232,82 @@ func decodeSinkSpan(res *rel.Relation, ests [][]bootstrap.Estimate, lo, hi, widt
 	return nil
 }
 
+// encodePartProbeSpan frames one bucket span of a partitioned probe: an
+// entry count, then per probe row with matches (ascending probe index) the
+// index, its match count, and the joined rows as spill rows. Zero-match
+// probe rows are omitted — absence decodes as no matches.
+func encodePartProbeSpan(idx []int, matches [][]delta.Row) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(idx)))
+	var err error
+	for e, i := range idx {
+		out = binary.AppendUvarint(out, uint64(i))
+		out = binary.AppendUvarint(out, uint64(len(matches[e])))
+		for _, r := range matches[e] {
+			out, err = storage.AppendSpillRow(out, r.Vals, r.Mult, r.W)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// decodePartProbeSpan scatters one bucket span's matches into perProbe,
+// validating that every entry's probe row routes to a bucket inside
+// [lo, hi) and that indices are strictly ascending. It must not assume a
+// single bucket per span: a self-exchange (joiner catch-up replay) merges
+// the whole [0, P) range in one payload.
+func decodePartProbeSpan(p []byte, lo, hi int, buckets []int, perProbe [][]delta.Row) error {
+	n, k := binary.Uvarint(p)
+	if k <= 0 {
+		return fmt.Errorf("core: part-probe span: bad entry count")
+	}
+	p = p[k:]
+	prev := -1
+	type entry struct {
+		idx  int
+		rows []delta.Row
+	}
+	entries := make([]entry, 0, n)
+	for e := uint64(0); e < n; e++ {
+		iv, k := binary.Uvarint(p)
+		if k <= 0 {
+			return fmt.Errorf("core: part-probe span: bad probe index")
+		}
+		p = p[k:]
+		i := int(iv)
+		if i <= prev || i >= len(buckets) {
+			return fmt.Errorf("core: part-probe span: probe index %d out of order or range", i)
+		}
+		if buckets[i] < lo || buckets[i] >= hi {
+			return fmt.Errorf("core: part-probe span [%d,%d): probe row %d routes to bucket %d", lo, hi, i, buckets[i])
+		}
+		prev = i
+		cnt, k := binary.Uvarint(p)
+		if k <= 0 {
+			return fmt.Errorf("core: part-probe span: bad match count")
+		}
+		p = p[k:]
+		rows := make([]delta.Row, 0, cnt)
+		for j := uint64(0); j < cnt; j++ {
+			vals, mult, w, sz, err := storage.DecodeSpillRow(p)
+			if err != nil {
+				return fmt.Errorf("core: part-probe span: %w", err)
+			}
+			rows = append(rows, delta.Row{Vals: vals, Mult: mult, W: w})
+			p = p[sz:]
+		}
+		entries = append(entries, entry{idx: i, rows: rows})
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("core: part-probe span: %d trailing bytes", len(p))
+	}
+	for _, e := range entries {
+		perProbe[e.idx] = e.rows
+	}
+	return nil
+}
+
 func appendF64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }

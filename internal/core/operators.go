@@ -66,11 +66,17 @@ type opScan struct {
 	poisson *bootstrap.PoissonSource // nil when trials == 0 or scan is static
 	next    uint64                   // per-table tuple index for weight derivation
 	done    bool                     // static side fully emitted
+	// justEmitted is true exactly on the step where the static side emitted
+	// its rows. Partitioned joins key their transient ΔL⋈ΔR branch off it
+	// instead of len(ro.news) > 0, which would diverge across replicas
+	// holding different (possibly empty) partitions of the table.
+	justEmitted bool
 }
 
 type scanSnap struct {
-	next uint64
-	done bool
+	next        uint64
+	done        bool
+	justEmitted bool
 }
 
 func newOpScan(t *plan.Scan, opts Options) *opScan {
@@ -136,10 +142,12 @@ func (o *opScan) step(bc *batchContext) (output, error) {
 		return out, nil
 	}
 	if o.done {
+		o.justEmitted = false
 		o.record(output{})
 		return output{}, nil
 	}
 	o.done = true
+	o.justEmitted = true
 	src, ok := bc.dims.Get(o.node.Table)
 	if !ok {
 		return output{}, fmt.Errorf("core: unknown table %q", o.node.Table)
@@ -153,8 +161,13 @@ func (o *opScan) step(bc *batchContext) (output, error) {
 	return out, nil
 }
 
-func (o *opScan) snapshot() interface{}    { return scanSnap{next: o.next, done: o.done} }
-func (o *opScan) restore(snap interface{}) { s := snap.(scanSnap); o.next, o.done = s.next, s.done }
+func (o *opScan) snapshot() interface{} {
+	return scanSnap{next: o.next, done: o.done, justEmitted: o.justEmitted}
+}
+func (o *opScan) restore(snap interface{}) {
+	s := snap.(scanSnap)
+	o.next, o.done, o.justEmitted = s.next, s.done, s.justEmitted
+}
 func (o *opScan) stateBytes() int          { return 0 }
 func (o *opScan) kind() string             { return "scan" }
 
@@ -445,6 +458,14 @@ type opJoin struct {
 	l, r           operator
 	lStore, rStore *delta.HashStore
 	lw             int // left schema width
+	// partBuckets > 0 marks the right side as a partitioned-shipping table
+	// (Options.PartitionTables): each distributed replica holds only one
+	// hash partition of it, so probes route through bucket-geometry
+	// exchanges (cluster.CostProbePart over partBuckets logical buckets)
+	// instead of row spans. partScan is the right child's static scan, whose
+	// justEmitted flag replaces the replica-divergent len(ro.news) guard.
+	partBuckets int
+	partScan    *opScan
 }
 
 // newOpJoin builds the join operator. The persistent side stores — the ones
@@ -565,6 +586,64 @@ func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, 
 	return append(dst, probeSpan(0, len(probe))...)
 }
 
+// probePartitioned probes a partitioned build store. Exchange geometry is
+// the P hash buckets, not row spans: the replica owning partition b probes
+// all probe rows routed to bucket b against its partition, which yields
+// exactly the full store's matches for those rows (a key's rows live whole
+// in one partition, in full-store insertion order). Merged payloads scatter
+// matches back to probe indices, and the final append walks probe order —
+// byte-identical to the sequential full-store loop. There is no MinRows
+// gate: a replica with a partial store cannot fall back to local compute,
+// so every replica must agree to exchange whenever a transport is attached.
+func (o *opJoin) probePartitioned(dst []delta.Row, probe []delta.Row, probeKeys []int, store *delta.HashStore, bc *batchContext) []delta.Row {
+	if len(probe) == 0 {
+		// Identical on every replica: probe rows come from the streamed
+		// delta, which all replicas hold whole.
+		return dst
+	}
+	if bc.exch == nil {
+		// Local execution holds the full table; the plain sequential probe
+		// is the oracle the exchange path must match bit-for-bit.
+		return o.probeInto(dst, probe, probeKeys, store, true, bc)
+	}
+	buckets := make([]int, len(probe))
+	var scratch []byte
+	for i, p := range probe {
+		scratch = rel.EncodeKeyInto(scratch[:0], p.Vals, probeKeys)
+		buckets[i] = cluster.KeyBucket(scratch, o.partBuckets)
+	}
+	perProbe := make([][]delta.Row, len(probe))
+	bc.exchange(cluster.CostProbePart, o.partBuckets,
+		func(lo, hi int) ([]byte, error) {
+			var idx []int
+			var matches [][]delta.Row
+			for i, b := range buckets {
+				if b < lo || b >= hi {
+					continue
+				}
+				p := probe[i]
+				ms := store.Probe(p.Vals, probeKeys)
+				if len(ms) == 0 {
+					continue
+				}
+				joined := make([]delta.Row, len(ms))
+				for j, m := range ms {
+					joined[j] = o.joinRows(p, m)
+				}
+				idx = append(idx, i)
+				matches = append(matches, joined)
+			}
+			return encodePartProbeSpan(idx, matches)
+		},
+		func(lo, hi int, p []byte) error {
+			return decodePartProbeSpan(p, lo, hi, buckets, perProbe)
+		})
+	for i := range probe {
+		dst = append(dst, perProbe[i]...)
+	}
+	return dst
+}
+
 func (o *opJoin) step(bc *batchContext) (output, error) {
 	lo, err := o.l.step(bc)
 	if err != nil {
@@ -605,19 +684,35 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 			bc.metrics.RecordShuffleBytes(n + m)
 		}
 	}
+	partitioned := o.partBuckets > 0
 	// Certain deltas (classic delta-join over the certain parts):
 	// ΔL ⋈ C_R(old), C_L(old) ⋈ ΔR, ΔL ⋈ ΔR. Probes run partition-parallel
 	// over the probe side; builds run partition-parallel over shards.
 	if o.rStore != nil {
-		out.news = o.probeInto(out.news, lo.news, lKeys, o.rStore, true, bc)
+		if partitioned {
+			out.news = o.probePartitioned(out.news, lo.news, lKeys, o.rStore, bc)
+		} else {
+			out.news = o.probeInto(out.news, lo.news, lKeys, o.rStore, true, bc)
+		}
 	}
 	if o.lStore != nil {
 		out.news = o.probeInto(out.news, ro.news, rKeys, o.lStore, false, bc)
 	}
-	if len(lo.news) > 0 && len(ro.news) > 0 {
+	// The transient ΔL⋈ΔR branch must take the same side on every replica:
+	// a partitioned right side emits different (possibly zero) row counts per
+	// replica, so the guard keys off the scan's emission step instead.
+	rEmitted := len(ro.news) > 0
+	if partitioned {
+		rEmitted = o.partScan.justEmitted
+	}
+	if len(lo.news) > 0 && rEmitted {
 		newR := delta.NewHashStore(rKeys)
 		newR.AddBatch(ro.news, false, bc.par(cluster.CostJoinBuild, len(ro.news)))
-		out.news = o.probeInto(out.news, lo.news, lKeys, newR, true, bc)
+		if partitioned {
+			out.news = o.probePartitioned(out.news, lo.news, lKeys, newR, bc)
+		} else {
+			out.news = o.probeInto(out.news, lo.news, lKeys, newR, true, bc)
+		}
 	}
 	// Fold this batch's certain rows into the stores (rows are cloned: store
 	// contents are immutable once added).
@@ -635,7 +730,11 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 			return output{}, fmt.Errorf("core: join #%d: left tuple uncertainty requires a cached right side", o.node.ID())
 		}
 		if o.rStore != nil {
-			out.unc = o.probeInto(out.unc, lo.unc, lKeys, o.rStore, true, bc)
+			if partitioned {
+				out.unc = o.probePartitioned(out.unc, lo.unc, lKeys, o.rStore, bc)
+			} else {
+				out.unc = o.probeInto(out.unc, lo.unc, lKeys, o.rStore, true, bc)
+			}
 		}
 	}
 	if len(ro.unc) > 0 && o.lStore != nil {

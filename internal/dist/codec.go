@@ -22,9 +22,17 @@ import (
 type setupMsg struct {
 	rank    int // this worker's participant rank (1-based; 0 is the coordinator)
 	minRows int
-	opts    core.Options
-	sqlText string
-	tables  []tableData
+	// catchUp is how many already-completed batches the worker must replay
+	// locally (self-exchange mode) before entering the live set — zero for
+	// workers present from the start. startSeq is the coordinator's exchange
+	// sequence at admission, adopted after the replay; lastDigest is the
+	// last completed batch's result digest the replay must reproduce.
+	catchUp    int
+	startSeq   uint64
+	lastDigest uint64
+	opts       core.Options
+	sqlText    string
+	tables     []tableData
 }
 
 // tableData is one serialized table: its catalog entry plus contents.
@@ -36,11 +44,18 @@ type tableData struct {
 
 // encodeSetup serializes the replica blueprint for one worker. Tables are
 // emitted in exec.DB.Tables() order (sorted), so every worker sees the same
-// catalog construction order.
-func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.DB, streamed map[string]bool) ([]byte, error) {
+// catalog construction order. partSlices, when a table name is present,
+// substitutes that relation for the full table — partitioned shipping sends
+// each initial worker only its hash partition of the build-side tables.
+// Joiners always receive full tables: the catch-up replay probes every
+// bucket locally.
+func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.DB, streamed map[string]bool, catchUp int, startSeq, lastDigest uint64, partSlices map[string]*rel.Relation) ([]byte, error) {
 	p := appendUvarint(nil, protoVersion)
 	p = appendUvarint(p, uint64(rank))
 	p = appendUvarint(p, uint64(minRows))
+	p = appendUvarint(p, uint64(catchUp))
+	p = appendUvarint(p, startSeq)
+	p = appendU64(p, lastDigest)
 
 	p = appendVarint(p, int64(opts.Mode))
 	p = appendVarint(p, int64(opts.Batches))
@@ -53,6 +68,11 @@ func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.
 	p = appendBool(p, opts.NoViewletRewrites)
 	p = appendVarint(p, int64(opts.BlockRows))
 	p = appendString(p, opts.StratifyBy)
+	p = appendVarint(p, int64(opts.Partitions))
+	p = appendUvarint(p, uint64(len(opts.PartitionTables)))
+	for _, t := range opts.PartitionTables {
+		p = appendString(p, t)
+	}
 
 	p = appendString(p, sqlText)
 
@@ -62,6 +82,9 @@ func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.
 		r, ok := db.Get(name)
 		if !ok {
 			return nil, fmt.Errorf("dist: table %q vanished during setup", name)
+		}
+		if slice, ok := partSlices[name]; ok {
+			r = slice
 		}
 		p = appendString(p, name)
 		p = appendBool(p, streamed[name])
@@ -92,6 +115,9 @@ func decodeSetup(p []byte) (*setupMsg, error) {
 		rank:    int(r.uvarint("rank")),
 		minRows: int(r.uvarint("minRows")),
 	}
+	s.catchUp = int(r.uvarint("catchUp"))
+	s.startSeq = r.uvarint("startSeq")
+	s.lastDigest = r.u64("lastDigest")
 	s.opts.Mode = core.Mode(r.varint("mode"))
 	s.opts.Batches = int(r.varint("batches"))
 	s.opts.Trials = int(r.varint("trials"))
@@ -103,6 +129,11 @@ func decodeSetup(p []byte) (*setupMsg, error) {
 	s.opts.NoViewletRewrites = r.boolean("noViewletRewrites")
 	s.opts.BlockRows = int(r.varint("blockRows"))
 	s.opts.StratifyBy = r.str("stratifyBy")
+	s.opts.Partitions = int(r.varint("partitions"))
+	npt := r.count("partition table count")
+	for i := 0; i < npt && r.err == nil; i++ {
+		s.opts.PartitionTables = append(s.opts.PartitionTables, r.str("partition table"))
+	}
 	s.sqlText = r.str("sql")
 
 	nt := r.count("table count")
@@ -138,20 +169,26 @@ func decodeSetup(p []byte) (*setupMsg, error) {
 }
 
 // encodeStep freezes a batch's membership: the batch number plus the ranks of
-// every worker the coordinator believes alive. Workers derive their span from
-// their position in this list; the coordinator uses the identical list even
-// for workers that die mid-batch (their spans are re-dispatched, the
-// assignment never shifts).
-func encodeStep(batch int, liveRanks []int) []byte {
+// every worker the coordinator believes alive, plus the span weights for the
+// batch (index 0 is the coordinator's weight, index i+1 belongs to the worker
+// at liveRanks[i]). Workers derive their span from their position in this
+// list via weightedSpans; the coordinator uses the identical list even for
+// workers that die mid-batch (their spans are re-dispatched, the assignment
+// never shifts).
+func encodeStep(batch int, liveRanks []int, weights []int) []byte {
 	p := appendUvarint(nil, uint64(batch))
 	p = appendUvarint(p, uint64(len(liveRanks)))
 	for _, rk := range liveRanks {
 		p = appendUvarint(p, uint64(rk))
 	}
+	p = appendUvarint(p, uint64(len(weights)))
+	for _, w := range weights {
+		p = appendUvarint(p, uint64(w))
+	}
 	return p
 }
 
-func decodeStep(p []byte) (batch int, liveRanks []int, err error) {
+func decodeStep(p []byte) (batch int, liveRanks []int, weights []int, err error) {
 	r := &reader{b: p}
 	batch = int(r.uvarint("batch"))
 	n := r.count("live count")
@@ -159,30 +196,43 @@ func decodeStep(p []byte) (batch int, liveRanks []int, err error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		liveRanks = append(liveRanks, int(r.uvarint("live rank")))
 	}
-	return batch, liveRanks, r.done("step")
+	nw := r.count("weight count")
+	weights = make([]int, 0, nw)
+	for i := 0; i < nw && r.err == nil; i++ {
+		weights = append(weights, int(r.uvarint("weight")))
+	}
+	if r.err == nil && len(weights) != len(liveRanks)+1 {
+		r.err = fmt.Errorf("dist: step: %d weights for %d live ranks", len(weights), len(liveRanks))
+	}
+	return batch, liveRanks, weights, r.done("step")
 }
 
 // spanMsg is one computed span: seq orders the exchange calls within a batch
-// so a frame from the wrong site can never be merged.
+// so a frame from the wrong site can never be merged. nanos is the sender's
+// measured compute time for the span, feeding the coordinator's per-worker
+// cost model (span sizing); it never affects results.
 type spanMsg struct {
 	seq     uint64
 	lo, hi  int
+	nanos   uint64
 	payload []byte
 }
 
-func encodeSpan(seq uint64, lo, hi int, payload []byte) []byte {
+func encodeSpan(seq uint64, lo, hi int, nanos uint64, payload []byte) []byte {
 	p := appendUvarint(nil, seq)
 	p = appendUvarint(p, uint64(lo))
 	p = appendUvarint(p, uint64(hi))
+	p = appendUvarint(p, nanos)
 	return append(p, payload...)
 }
 
 func decodeSpan(p []byte) (spanMsg, error) {
 	r := &reader{b: p}
 	sm := spanMsg{
-		seq: r.uvarint("seq"),
-		lo:  int(r.uvarint("lo")),
-		hi:  int(r.uvarint("hi")),
+		seq:   r.uvarint("seq"),
+		lo:    int(r.uvarint("lo")),
+		hi:    int(r.uvarint("hi")),
+		nanos: r.uvarint("nanos"),
 	}
 	if r.err != nil {
 		return spanMsg{}, r.err

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the error every injected fault returns.
@@ -27,6 +28,10 @@ type FaultConn struct {
 	failWriteAt           int
 	failCloseAt           int
 	killOnFault           bool
+	writeDelay            time.Duration
+	delayWriteFrom        int
+	readDelay             time.Duration
+	delayReadFrom         int
 }
 
 // NewFaultConn wraps inner with no faults scheduled.
@@ -54,6 +59,28 @@ func (c *FaultConn) FailCloseAt(n int) {
 	c.failCloseAt = n
 }
 
+// DelayWritesFrom makes every Write from the nth on (1-based) sleep d before
+// touching the underlying conn: a slow-but-alive peer, as opposed to a dead
+// one. The peer's read deadline keeps running during the sleep, so this
+// exercises the coordinator's deadline escalation without any fault firing.
+func (c *FaultConn) DelayWritesFrom(n int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delayWriteFrom = n
+	c.writeDelay = d
+}
+
+// DelayReadsFrom makes every Read from the nth on (1-based) sleep d before
+// touching the underlying conn — frames arrive late but intact. An armed
+// read deadline keeps running during the sleep, so the underlying read can
+// time out; a retried read sleeps again.
+func (c *FaultConn) DelayReadsFrom(n int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delayReadFrom = n
+	c.readDelay = d
+}
+
 // KillOnFault makes read/write faults also close the underlying conn.
 func (c *FaultConn) KillOnFault(on bool) {
 	c.mu.Lock()
@@ -73,7 +100,14 @@ func (c *FaultConn) Read(p []byte) (int, error) {
 	c.reads++
 	hit := c.failReadAt != 0 && c.reads == c.failReadAt
 	kill := hit && c.killOnFault
+	delay := time.Duration(0)
+	if c.delayReadFrom != 0 && c.reads >= c.delayReadFrom {
+		delay = c.readDelay
+	}
 	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	if hit {
 		if kill {
 			c.Conn.Close()
@@ -88,7 +122,14 @@ func (c *FaultConn) Write(p []byte) (int, error) {
 	c.writes++
 	hit := c.failWriteAt != 0 && c.writes == c.failWriteAt
 	kill := hit && c.killOnFault
+	delay := time.Duration(0)
+	if c.delayWriteFrom != 0 && c.writes >= c.delayWriteFrom {
+		delay = c.writeDelay
+	}
 	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	if hit {
 		if kill {
 			c.Conn.Close()

@@ -46,7 +46,9 @@ const (
 
 // protoVersion guards against mixed binaries: replicas must run identical
 // code for bit-identical floats, so a version mismatch at Setup is fatal.
-const protoVersion = 1
+// Version 2 added elastic membership (catch-up fields in Setup, per-batch
+// span weights in Step, compute nanos in Span) and partitioned shipping.
+const protoVersion = 2
 
 // maxFrame bounds a single frame (1 GiB). Large sites split across spans stay
 // far below it; the limit exists so a corrupt length prefix cannot drive a
@@ -97,6 +99,36 @@ func assignSpans(n, p int) [][2]int {
 	spans := make([][2]int, p)
 	for i := 0; i < p; i++ {
 		spans[i] = [2]int{i * n / p, (i + 1) * n / p}
+	}
+	return spans
+}
+
+// weightedSpans splits [0, n) into len(ws) contiguous spans whose sizes are
+// proportional to the weights, with boundaries ⌊cum_i·n/tot⌋ — for equal
+// weights the cumulative sums are equal rationals, so this reduces exactly
+// to assignSpans. Like assignSpans it is a pure function of its inputs: the
+// coordinator freezes the weights per batch (announced in msgStep) and every
+// replica derives the identical assignment. Non-positive totals fall back to
+// equal spans.
+func weightedSpans(n int, ws []int) [][2]int {
+	tot := 0
+	for _, w := range ws {
+		if w > 0 {
+			tot += w
+		}
+	}
+	if tot <= 0 {
+		return assignSpans(n, len(ws))
+	}
+	spans := make([][2]int, len(ws))
+	cum, prev := 0, 0
+	for i, w := range ws {
+		if w > 0 {
+			cum += w
+		}
+		hi := int(int64(cum) * int64(n) / int64(tot))
+		spans[i] = [2]int{prev, hi}
+		prev = hi
 	}
 	return spans
 }

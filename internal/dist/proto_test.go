@@ -82,7 +82,7 @@ func TestSetupRoundTrip(t *testing.T) {
 		SnapshotKeep: 3, MinRangeSupport: 5, PreShuffle: true,
 		NoViewletRewrites: true, BlockRows: 4, StratifyBy: "k",
 	}
-	p, err := encodeSetup(2, 16, opts, "SELECT 1", db, map[string]bool{"stream": true})
+	p, err := encodeSetup(2, 16, opts, "SELECT 1", db, map[string]bool{"stream": true}, 4, 17, 0xfeed, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +92,9 @@ func TestSetupRoundTrip(t *testing.T) {
 	}
 	if s.rank != 2 || s.minRows != 16 || s.sqlText != "SELECT 1" {
 		t.Fatalf("header: %+v", s)
+	}
+	if s.catchUp != 4 || s.startSeq != 17 || s.lastDigest != 0xfeed {
+		t.Fatalf("catch-up fields: %+v", s)
 	}
 	if !reflect.DeepEqual(s.opts, opts) {
 		t.Fatalf("options: got %+v want %+v", s.opts, opts)
@@ -115,7 +118,7 @@ func TestSetupRoundTrip(t *testing.T) {
 func TestSetupRejectsCorruptPayload(t *testing.T) {
 	db := exec.NewDB()
 	db.Put("t", rel.NewRelation(rel.Schema{{Name: "x", Type: rel.KInt}}))
-	p, err := encodeSetup(1, 32, core.Options{}, "q", db, nil)
+	p, err := encodeSetup(1, 32, core.Options{}, "q", db, nil, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,14 +131,19 @@ func TestSetupRejectsCorruptPayload(t *testing.T) {
 }
 
 func TestMessageCodecs(t *testing.T) {
-	p := encodeStep(5, []int{1, 3, 4})
-	b, live, err := decodeStep(p)
-	if err != nil || b != 5 || !reflect.DeepEqual(live, []int{1, 3, 4}) {
-		t.Fatalf("step: %d %v %v", b, live, err)
+	p := encodeStep(5, []int{1, 3, 4}, []int{16, 16, 8, 32})
+	b, live, ws, err := decodeStep(p)
+	if err != nil || b != 5 || !reflect.DeepEqual(live, []int{1, 3, 4}) || !reflect.DeepEqual(ws, []int{16, 16, 8, 32}) {
+		t.Fatalf("step: %d %v %v %v", b, live, ws, err)
+	}
+	// The weight vector must stay aligned with the live list: one entry for
+	// the coordinator plus one per rank.
+	if _, _, _, err := decodeStep(encodeStep(5, []int{1, 3}, []int{16, 16})); err == nil {
+		t.Fatal("misaligned weights: expected error")
 	}
 
-	sm, err := decodeSpan(encodeSpan(9, 10, 20, []byte{7, 8}))
-	if err != nil || sm.seq != 9 || sm.lo != 10 || sm.hi != 20 || !bytes.Equal(sm.payload, []byte{7, 8}) {
+	sm, err := decodeSpan(encodeSpan(9, 10, 20, 1234, []byte{7, 8}))
+	if err != nil || sm.seq != 9 || sm.lo != 10 || sm.hi != 20 || sm.nanos != 1234 || !bytes.Equal(sm.payload, []byte{7, 8}) {
 		t.Fatalf("span: %+v %v", sm, err)
 	}
 

@@ -97,7 +97,13 @@ type workerSession struct {
 	rank    int
 	minRows int
 	live    []int  // frozen live ranks of the current batch
+	weights []int  // frozen span weights ([0] coordinator, [i+1] live[i])
 	seq     uint64 // exchange sequence number, lockstep with the coordinator
+	// selfMode runs exchanges without the coordinator: compute the whole
+	// site, merge it, no frames. Used during a joiner's catch-up replay —
+	// merges are span-decomposition insensitive, so one [0, n) span leaves
+	// the replica state bit-identical to the original distributed run.
+	selfMode bool
 
 	wireShuffle   int64 // bytes sent toward the coordinator
 	wireBroadcast int64 // bytes received from the coordinator
@@ -123,6 +129,37 @@ func (w *workerSession) run() error {
 	}
 	defer eng.Close()
 	w.rank, w.minRows = s.rank, s.minRows
+	if s.catchUp > 0 {
+		// Mid-query joiner: replay every completed batch against the full
+		// tables we were shipped, then prove convergence against the
+		// coordinator's last digest before reporting ready. The replay runs
+		// before msgSetupOK, so admission cost lands on the joiner, not on
+		// the incumbents' batch cadence.
+		w.selfMode = true
+		var lastDg uint64
+		for b := 0; b < s.catchUp; b++ {
+			u, err := eng.Step()
+			if err != nil {
+				w.sendError(fmt.Errorf("dist: catch-up replay batch %d: %w", b+1, err))
+				return err
+			}
+			lastDg = 0
+			if u != nil {
+				if lastDg, err = resultDigest(u); err != nil {
+					w.sendError(err)
+					return err
+				}
+			}
+		}
+		w.selfMode = false
+		if lastDg != s.lastDigest {
+			err := fmt.Errorf("dist: catch-up replay diverged after %d batches: digest %#x, want %#x", s.catchUp, lastDg, s.lastDigest)
+			w.sendError(err)
+			return err
+		}
+		w.seq = s.startSeq
+		w.opts.Logf("dist: worker rank %d caught up (%d batches replayed)", w.rank, s.catchUp)
+	}
 	if err := w.send(msgSetupOK, nil); err != nil {
 		return err
 	}
@@ -146,11 +183,11 @@ func (w *workerSession) run() error {
 		case msgShutdown:
 			return errShutdown
 		case msgStep:
-			batch, live, err := decodeStep(pl)
+			batch, live, weights, err := decodeStep(pl)
 			if err != nil {
 				return err
 			}
-			w.live = live
+			w.live, w.weights = live, weights
 			u, err := eng.Step()
 			if err != nil {
 				if errors.Is(err, errShutdown) {
@@ -209,32 +246,59 @@ func buildReplica(s *setupMsg, wopts WorkerOptions, exch core.Exchanger) (*core.
 }
 
 // Exchange implements core.Exchanger for the worker side of a site: compute
-// this replica's span (derived from its position in the frozen live list),
-// ship it, then serve compute requests (re-dispatched spans of dead peers)
-// until the merged site arrives, and apply it.
+// this replica's span (derived from its position in the frozen live list and
+// the batch's weight vector, or — for a partitioned probe — from bucket
+// ownership by rank), ship it with its measured compute nanos, then serve
+// compute requests (re-dispatched spans of dead peers) until the merged site
+// arrives, and apply it. In selfMode (catch-up replay) the whole site is
+// computed and merged locally with no frames.
 func (w *workerSession) Exchange(class cluster.OpClass, n int, compute func(lo, hi int) ([]byte, error), merge func(lo, hi int, payload []byte) error) error {
+	if w.selfMode {
+		pl, err := compute(0, n)
+		if err != nil {
+			return err
+		}
+		return merge(0, n, pl)
+	}
 	seq := w.seq
 	w.seq++
-	p := len(w.live) + 1
-	idx := -1
-	for i, rk := range w.live {
-		if rk == w.rank {
-			idx = i + 1
-			break
+	var lo, hi int
+	if class == cluster.CostProbePart {
+		// Partitioned-probe geometry: n is the bucket count and rank r owns
+		// bucket r-1. Ranks beyond the partition count (joiners, extra
+		// workers) ship an empty span as a liveness marker.
+		if w.rank >= 1 && w.rank <= n {
+			lo, hi = w.rank-1, w.rank
 		}
+	} else {
+		p := len(w.live) + 1
+		idx := -1
+		for i, rk := range w.live {
+			if rk == w.rank {
+				idx = i + 1
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("dist: worker rank %d missing from live set %v", w.rank, w.live)
+		}
+		var spans [][2]int
+		if len(w.weights) == p {
+			spans = weightedSpans(n, w.weights)
+		} else {
+			spans = assignSpans(n, p)
+		}
+		lo, hi = spans[idx][0], spans[idx][1]
 	}
-	if idx < 0 {
-		return fmt.Errorf("dist: worker rank %d missing from live set %v", w.rank, w.live)
-	}
-	spans := assignSpans(n, p)
-	lo, hi := spans[idx][0], spans[idx][1]
+	t0 := time.Now()
 	pl, err := compute(lo, hi)
 	if err != nil {
 		return err
 	}
+	nanos := uint64(time.Since(t0).Nanoseconds())
 	// Empty spans still ship: the frame doubles as a liveness signal and
 	// keeps the collection sequence identical on both ends.
-	if err := w.send(msgSpan, encodeSpan(seq, lo, hi, pl)); err != nil {
+	if err := w.send(msgSpan, encodeSpan(seq, lo, hi, nanos, pl)); err != nil {
 		return err
 	}
 	for {
@@ -255,11 +319,12 @@ func (w *workerSession) Exchange(class cluster.OpClass, n int, compute func(lo, 
 			if cseq != seq {
 				return fmt.Errorf("dist: compute request for seq %d during seq %d", cseq, seq)
 			}
+			ct0 := time.Now()
 			cpl, err := compute(clo, chi)
 			if err != nil {
 				return err
 			}
-			if err := w.send(msgSpan, encodeSpan(seq, clo, chi, cpl)); err != nil {
+			if err := w.send(msgSpan, encodeSpan(seq, clo, chi, uint64(time.Since(ct0).Nanoseconds()), cpl)); err != nil {
 				return err
 			}
 		case msgMerged:
@@ -295,12 +360,17 @@ func (w *workerSession) WireStats() (shuffle, broadcast int64) {
 	return w.wireShuffle, w.wireBroadcast
 }
 
+// read and send clear their deadline after a successful frame: a stale
+// armed deadline would otherwise expire during long local compute (a span, a
+// catch-up replay) and poison the connection for any later I/O issued
+// without an explicit deadline of its own.
 func (w *workerSession) read() (byte, []byte, error) {
 	w.conn.SetReadDeadline(time.Now().Add(w.opts.IdleTimeout))
 	typ, pl, err := readFrame(w.conn)
 	if err != nil {
 		return 0, nil, err
 	}
+	w.conn.SetReadDeadline(time.Time{})
 	w.wireBroadcast += int64(frameOverhead + len(pl))
 	return typ, pl, nil
 }
@@ -310,6 +380,7 @@ func (w *workerSession) send(typ byte, payload []byte) error {
 	if err := writeFrame(w.conn, typ, payload); err != nil {
 		return err
 	}
+	w.conn.SetWriteDeadline(time.Time{})
 	w.wireShuffle += int64(frameOverhead + len(payload))
 	return nil
 }

@@ -829,3 +829,105 @@ func runQueryDist(w *workload.Workload, q workload.Query, opts core.Options, tra
 	wireSh, wireBc := coord.WireStats()
 	return &queryRun{query: q, updates: updates, engine: eng}, wireSh, wireBc, nil
 }
+
+// DistElastic exercises elastic membership on TPC-H Q3 over loopback
+// workers: a worker joining mid-query (catch-up replay), a worker killed
+// mid-batch (span re-dispatch), and both at once — every variant must
+// reproduce the local run bit for bit.
+func DistElastic(cfg Config) ([]*Result, error) {
+	cfg = cfg.WithDefaults()
+	w := cfg.tpch()
+	res := &Result{
+		ID:    "dist-elastic",
+		Title: "TPC-H Q3: elastic distributed execution (2 workers, loopback)",
+		Header: []string{"scenario", "total_ms", "final_workers", "redispatched",
+			"identical"},
+		Notes: []string{
+			"join: a third worker connects after batch 2, replays the completed batches, and serves the rest",
+			"kill: a fault closes one worker's conn mid-batch; its spans are re-dispatched",
+			"results must be bit-identical to local in every scenario (frozen per-batch live sets)",
+		},
+	}
+	q, ok := w.Query("Q3")
+	if !ok {
+		return nil, fmt.Errorf("dist-elastic: no Q3 in workload %s", w.Name)
+	}
+	opts := core.Options{Batches: cfg.Batches, Trials: cfg.Trials,
+		Slack: cfg.Slack, Seed: cfg.Seed, Workers: 1}
+	ref, err := runQuery(w, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, scenario := range []string{"join", "kill", "join+kill"} {
+		run, live, redisp, err := runQueryElastic(w, q, opts, scenario)
+		if err != nil {
+			return nil, fmt.Errorf("dist-elastic/%s: %w", scenario, err)
+		}
+		identical := len(run.updates) == len(ref.updates)
+		for i := 0; identical && i < len(run.updates); i++ {
+			a, b := run.updates[i], ref.updates[i]
+			if !rel.EqualBag(a.Result, b.Result, 0) ||
+				a.ShuffleBytes != b.ShuffleBytes || a.BroadcastBytes != b.BroadcastBytes {
+				identical = false
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			scenario, ms(run.totalLatency()), fmt.Sprint(live),
+			fmt.Sprint(redisp), yesNo(identical),
+		})
+	}
+	return []*Result{res}, nil
+}
+
+// runQueryElastic runs q over two loopback workers while applying the
+// membership scenario: "join" admits a third worker after batch 2, "kill"
+// injects a mid-batch connection fault on worker 1, "join+kill" does both.
+func runQueryElastic(w *workload.Workload, q workload.Query, opts core.Options, scenario string) (*queryRun, int, int, error) {
+	conns, cleanup := dist.StartLoopback(2, dist.WorkerOptions{Workers: 1})
+	defer cleanup()
+	wire := []net.Conn{conns[0], conns[1]}
+	if scenario == "kill" || scenario == "join+kill" {
+		fc := dist.NewFaultConn(conns[0])
+		fc.KillOnFault(true)
+		fc.FailReadAt(13)
+		wire[0] = fc
+	}
+	coord := dist.NewCoordinator(wire, dist.Config{
+		MinRows: 1, SpanDeadline: 100 * time.Millisecond, Retries: 1})
+	defer coord.Close()
+	streamed := make(map[string]bool, len(w.Tables))
+	for name := range w.Tables {
+		streamed[name] = name == q.Stream
+	}
+	if err := coord.Setup(w.DB(), streamed, q.SQL, opts); err != nil {
+		return nil, 0, 0, err
+	}
+	opts.Exchange = coord
+
+	node, _, err := w.Plan(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	eng, err := core.NewEngine(node, w.DB(), opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var updates []*core.Update
+	for !eng.Done() {
+		u, err := coord.Step(eng)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		updates = append(updates, u)
+		if len(updates) == 2 && (scenario == "join" || scenario == "join+kill") {
+			cc, sc := net.Pipe()
+			go func() {
+				dist.ServeConn(sc, dist.WorkerOptions{Workers: 1})
+				sc.Close()
+			}()
+			coord.Admit(cc)
+		}
+	}
+	redisp, _ := coord.Redispatched()
+	return &queryRun{query: q, updates: updates, engine: eng}, coord.LiveWorkers(), redisp, nil
+}

@@ -129,6 +129,7 @@ func All() []Experiment {
 		{ID: "spill", Paper: "(extra) join-state budget vs spill traffic, TPC-H Q17", Run: Spill},
 		{ID: "scale", Paper: "(extra) scale sensitivity of the tiny-group deviations", Run: ScaleSensitivity},
 		{ID: "dist", Paper: "(extra) local vs loopback vs TCP distributed execution, TPC-H Q3/Q17", Run: Dist},
+		{ID: "dist-elastic", Paper: "(extra) elastic distributed execution: mid-query join, kill, join+kill", Run: DistElastic},
 	}
 }
 

@@ -165,6 +165,23 @@ type Options struct {
 	// (default 32 rows). Deterministic: it affects which sites distribute,
 	// identically on every replica, never results.
 	DistMinRows int
+	// DistPartitionTables lists static build-side tables to hash-partition
+	// across workers instead of replicating: each worker receives only its
+	// partitions at setup, cutting setup broadcast bytes for large dimension
+	// tables. Every listed table must be a static (non-streamed) direct
+	// build side of a keyed join, or Query fails. Results stay bit-identical
+	// — partitioning changes shipping, never answers.
+	DistPartitionTables []string
+	// DistPartitions is the hash-partition count for DistPartitionTables
+	// (defaults to the worker count). Workers whose rank exceeds the count
+	// hold full tables and serve the non-partitioned sites.
+	DistPartitions int
+	// DistElasticAddr, when set with the Dist options, listens on this
+	// host:port for workers joining mid-query: a joiner receives the
+	// blueprint, replays completed batches to the coordinator's verified
+	// digest, and enters the live set at the next batch boundary. Scaling
+	// up (or workers dying) never changes results.
+	DistElasticAddr string
 	// CostProfile seeds the adaptive parallel-cutover model from a previous
 	// run's Cursor.CostSnapshot (the CLI persists it via -cost-profile), so
 	// a fresh process starts with learned per-row costs instead of
@@ -503,6 +520,7 @@ type Cursor struct {
 	err      error
 	coord    *dist.Coordinator
 	stopLoop func()
+	joinL    net.Listener
 }
 
 // Query compiles the SQL text and prepares incremental execution; iterate
@@ -538,7 +556,17 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 	}
 	var coord *dist.Coordinator
 	var stopLoop func()
+	var joinL net.Listener
 	if len(opts.DistWorkers) > 0 || opts.DistLoopback > 0 {
+		if len(opts.DistPartitionTables) > 0 {
+			coreOpts.PartitionTables = opts.DistPartitionTables
+			coreOpts.Partitions = opts.DistPartitions
+			if coreOpts.Partitions <= 0 {
+				if coreOpts.Partitions = len(opts.DistWorkers); coreOpts.Partitions == 0 {
+					coreOpts.Partitions = opts.DistLoopback
+				}
+			}
+		}
 		var conns []net.Conn
 		if len(opts.DistWorkers) > 0 {
 			conns, err = dist.Dial(opts.DistWorkers, 0)
@@ -565,6 +593,17 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 			}
 			return nil, err
 		}
+		if opts.DistElasticAddr != "" {
+			joinL, err = net.Listen("tcp", opts.DistElasticAddr)
+			if err != nil {
+				coord.Close()
+				if stopLoop != nil {
+					stopLoop()
+				}
+				return nil, err
+			}
+			coord.AcceptJoiners(joinL)
+		}
 		coreOpts.Exchange = coord
 	}
 	eng, err := core.NewEngine(node, db, coreOpts)
@@ -574,10 +613,13 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 			if stopLoop != nil {
 				stopLoop()
 			}
+			if joinL != nil {
+				joinL.Close()
+			}
 		}
 		return nil, err
 	}
-	return &Cursor{engine: eng, pp: pp, coord: coord, stopLoop: stopLoop}, nil
+	return &Cursor{engine: eng, pp: pp, coord: coord, stopLoop: stopLoop, joinL: joinL}, nil
 }
 
 // Next advances to the next mini-batch result; it returns false when all
@@ -654,12 +696,26 @@ func (c *Cursor) DistLiveWorkers() int {
 	return c.coord.LiveWorkers()
 }
 
+// DistElasticAddr returns the resolved address the cursor listens on for
+// mid-query worker joins — what to advertise to new workers. Empty unless
+// Options.DistElasticAddr was set.
+func (c *Cursor) DistElasticAddr() string {
+	if c.joinL == nil {
+		return ""
+	}
+	return c.joinL.Addr().String()
+}
+
 // Close releases the cursor's spill files and their temp directory, if any,
 // and shuts down distributed workers' query state. Call it when done
 // iterating a query that set Options.StateBudgetBytes or the Dist options;
 // it is a no-op otherwise, and idempotent.
 func (c *Cursor) Close() error {
 	err := c.engine.Close()
+	if c.joinL != nil {
+		c.joinL.Close()
+		c.joinL = nil
+	}
 	if c.coord != nil {
 		c.coord.Close()
 	}

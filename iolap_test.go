@@ -2,10 +2,14 @@ package iolap
 
 import (
 	"math"
+	"net"
 	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"iolap/internal/dist"
 )
 
 // paperSession loads the paper's Figure 2(b) Sessions example.
@@ -496,6 +500,96 @@ func TestDistLoopbackFacade(t *testing.T) {
 	}
 	if err := cur.Close(); err != nil { // idempotent with the defer
 		t.Fatal(err)
+	}
+}
+
+// TestDistElasticFacade covers the public elastic path: DistElasticAddr
+// opens a join listener, a worker dialing it mid-query replays in, the
+// dimension table ships hash-partitioned — and results stay bit-identical
+// to the local run.
+func TestDistElasticFacade(t *testing.T) {
+	mk := func() *Session {
+		s := NewSession()
+		s.MustCreateTable("sessions", []Column{
+			{Name: "session_id", Type: TString},
+			{Name: "cdn", Type: TString},
+			{Name: "play_time", Type: TFloat},
+		}, Streamed)
+		rows := make([][]interface{}, 200)
+		for i := range rows {
+			rows[i] = []interface{}{
+				"s" + strconv.Itoa(i), "c" + strconv.Itoa((i*13)%40),
+				float64((i*53)%211) + 10,
+			}
+		}
+		s.MustInsert("sessions", rows)
+		dims := make([][]interface{}, 40)
+		for i := range dims {
+			dims[i] = []interface{}{"c" + strconv.Itoa(i), "r" + strconv.Itoa(i%4)}
+		}
+		s.MustCreateTable("cdns", []Column{
+			{Name: "cdn", Type: TString},
+			{Name: "region", Type: TString},
+		}, false)
+		s.MustInsert("cdns", dims)
+		return s
+	}
+	query := `SELECT c.region, SUM(s.play_time) AS spt FROM sessions s, cdns c
+		WHERE s.cdn = c.cdn GROUP BY c.region ORDER BY region`
+	base := Options{Batches: 5, Trials: 15, Seed: 3, Workers: 1}
+
+	localCur, err := mk().Query(query, &base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer localCur.Close()
+	var local []*Update
+	for localCur.Next() {
+		local = append(local, localCur.Update())
+	}
+	if err := localCur.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := base
+	opts.DistLoopback = 2
+	opts.DistMinRows = 1
+	opts.DistPartitionTables = []string{"cdns"}
+	opts.DistElasticAddr = "127.0.0.1:0"
+	cur, err := mk().Query(query, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	addr := cur.DistElasticAddr()
+	if addr == "" {
+		t.Fatal("no elastic join address")
+	}
+	for i := 0; cur.Next(); i++ {
+		u := cur.Update()
+		want := local[i]
+		if !reflect.DeepEqual(u.Rows, want.Rows) || !reflect.DeepEqual(u.Estimates, want.Estimates) {
+			t.Fatalf("batch %d diverges from local:\n dist %v\nlocal %v", u.Batch, u.Rows, want.Rows)
+		}
+		if i == 1 { // a third worker joins mid-query over TCP
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("join dial: %v", err)
+			}
+			go func() {
+				dist.ServeConn(conn, dist.WorkerOptions{Workers: 1})
+				conn.Close()
+			}()
+			// Give the accept loop time to queue the conn: admission itself
+			// happens deterministically at the next batch boundary.
+			time.Sleep(300 * time.Millisecond)
+		}
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cur.DistLiveWorkers(); got != 3 {
+		t.Fatalf("live workers after join = %d, want 3", got)
 	}
 }
 
