@@ -84,6 +84,18 @@ type partitionResult struct {
 	Identical          bool    `json:"identical"`
 }
 
+type compressResult struct {
+	Query             string  `json:"query"`
+	DimRows           int     `json:"dim_rows"`
+	Workers           int     `json:"workers"`
+	RawSetupB         int64   `json:"raw_setup_broadcast_bytes"`
+	CompressedSetupB  int64   `json:"compressed_setup_broadcast_bytes"`
+	SetupCompressionX float64 `json:"setup_compression_ratio"`
+	RawTotalB         int64   `json:"raw_total_broadcast_bytes"`
+	CompressedTotalB  int64   `json:"compressed_total_broadcast_bytes"`
+	Identical         bool    `json:"identical"`
+}
+
 type report struct {
 	Fact        int             `json:"fact_rows"`
 	Batches     int             `json:"batches"`
@@ -93,6 +105,7 @@ type report struct {
 	Results     []queryResult   `json:"results"`
 	Elastic     elasticResult   `json:"elastic_autoscale"`
 	Partitioned partitionResult `json:"partitioned_shipping"`
+	Compression compressResult  `json:"wire_compression"`
 }
 
 func main() {
@@ -162,6 +175,15 @@ func main() {
 	fmt.Printf("partitioned shipping (%d-row dim, %d workers): setup broadcast %dB -> %dB (%.1f%% saved)  identical=%v\n",
 		pt.DimRows, pt.Workers, pt.ReplicatedSetupB, pt.PartitionedSetupB,
 		pt.SetupBytesSavedPct, pt.Identical)
+
+	cp, err := wireCompression(*batches, *trials, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Compression = *cp
+	fmt.Printf("wire compression (%d-row dim, %d workers): setup broadcast %dB -> %dB (%.1fx), total broadcast %dB -> %dB  identical=%v\n",
+		cp.DimRows, cp.Workers, cp.RawSetupB, cp.CompressedSetupB,
+		cp.SetupCompressionX, cp.RawTotalB, cp.CompressedTotalB, cp.Identical)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -388,15 +410,15 @@ func partitionedShipping(batches, trials int, seed uint64) (*partitionResult, er
 	popts.PartitionTables = []string{"cdns"}
 	popts.Partitions = workers
 
-	local, _, err := runSessionsJoin(query, opts, factRows, dimRows, 0)
+	local, _, _, err := runSessionsJoin(query, opts, factRows, dimRows, 0)
 	if err != nil {
 		return nil, fmt.Errorf("partitioned/local: %w", err)
 	}
-	repl, replSetup, err := runSessionsJoin(query, opts, factRows, dimRows, workers)
+	repl, replSetup, _, err := runSessionsJoin(query, opts, factRows, dimRows, workers)
 	if err != nil {
 		return nil, fmt.Errorf("partitioned/replicated: %w", err)
 	}
-	part, partSetup, err := runSessionsJoin(query, popts, factRows, dimRows, workers)
+	part, partSetup, _, err := runSessionsJoin(query, popts, factRows, dimRows, workers)
 	if err != nil {
 		return nil, fmt.Errorf("partitioned/partitioned: %w", err)
 	}
@@ -407,6 +429,47 @@ func partitionedShipping(batches, trials int, seed uint64) (*partitionResult, er
 	}
 	if replSetup > 0 {
 		res.SetupBytesSavedPct = 100 * (1 - float64(partSetup)/float64(replSetup))
+	}
+	return res, nil
+}
+
+// wireCompression measures the tentpole of the wire codec: the same
+// sessions/dimension join shipped with WireCompression off and on, reporting
+// the setup broadcast bytes (the dominant cost: the serialized tables) and
+// the run's total broadcast bytes. Compression is transport-only, so both
+// runs must match the local oracle bit for bit.
+func wireCompression(batches, trials int, seed uint64) (*compressResult, error) {
+	const (
+		factRows = 2000
+		dimRows  = 4096
+		workers  = 2
+	)
+	query := "SELECT c.region, SUM(s.play_time) AS spt FROM sessions s, cdns c WHERE s.cdn = c.cdn GROUP BY c.region"
+	opts := core.Options{Batches: batches, Trials: trials, Slack: 2.0,
+		Seed: seed, Workers: 1}
+	copts := opts
+	copts.WireCompression = true
+
+	local, _, _, err := runSessionsJoin(query, opts, factRows, dimRows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("compression/local: %w", err)
+	}
+	raw, rawSetup, rawTotal, err := runSessionsJoin(query, opts, factRows, dimRows, workers)
+	if err != nil {
+		return nil, fmt.Errorf("compression/raw: %w", err)
+	}
+	comp, compSetup, compTotal, err := runSessionsJoin(query, copts, factRows, dimRows, workers)
+	if err != nil {
+		return nil, fmt.Errorf("compression/compressed: %w", err)
+	}
+	res := &compressResult{
+		Query: "sessions_dim_join", DimRows: dimRows, Workers: workers,
+		RawSetupB: rawSetup, CompressedSetupB: compSetup,
+		RawTotalB: rawTotal, CompressedTotalB: compTotal,
+		Identical: sameRun(raw, local) && sameRun(comp, local),
+	}
+	if compSetup > 0 {
+		res.SetupCompressionX = float64(rawSetup) / float64(compSetup)
 	}
 	return res, nil
 }
@@ -443,9 +506,10 @@ func sessionsDB(factRows, dimRows int, seed int64) *exec.DB {
 }
 
 // runSessionsJoin executes the inline fixture query locally (workers == 0)
-// or over that many loopback workers, returning the updates and the wire
-// broadcast bytes measured immediately after Setup (the table shipping).
-func runSessionsJoin(query string, opts core.Options, factRows, dimRows, workers int) ([]*core.Update, int64, error) {
+// or over that many loopback workers, returning the updates, the wire
+// broadcast bytes measured immediately after Setup (the table shipping), and
+// the total wire broadcast bytes for the run.
+func runSessionsJoin(query string, opts core.Options, factRows, dimRows, workers int) ([]*core.Update, int64, int64, error) {
 	db := sessionsDB(factRows, dimRows, 0)
 	var coord *dist.Coordinator
 	var setupBytes int64
@@ -455,14 +519,14 @@ func runSessionsJoin(query string, opts core.Options, factRows, dimRows, workers
 		coord = dist.NewCoordinator(conns, dist.Config{MinRows: 1})
 		defer coord.Close()
 		if err := coord.Setup(db, map[string]bool{"sessions": true}, query, opts); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		_, setupBytes = coord.WireStats()
 		opts.Exchange = coord
 	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	cat := sql.NewCatalog()
 	sessions, _ := db.Get("sessions")
@@ -471,11 +535,11 @@ func runSessionsJoin(query string, opts core.Options, factRows, dimRows, workers
 	cat.AddTable("cdns", cdns.Schema, false)
 	node, _, err := sql.NewPlanner(cat, expr.NewRegistry(), agg.NewRegistry()).Plan(stmt)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	eng, err := core.NewEngine(node, db, opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	var updates []*core.Update
 	for !eng.Done() {
@@ -486,11 +550,15 @@ func runSessionsJoin(query string, opts core.Options, factRows, dimRows, workers
 			u, err = eng.Step()
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		updates = append(updates, u)
 	}
-	return updates, setupBytes, nil
+	var totalBroadcast int64
+	if coord != nil {
+		_, totalBroadcast = coord.WireStats()
+	}
+	return updates, setupBytes, totalBroadcast, nil
 }
 
 func fatal(err error) {

@@ -57,6 +57,7 @@ func main() {
 		distAddrs    = flag.String("dist", "", "comma-separated worker addresses (host:port,...): distribute execution across them (results identical to local)")
 		distPart     = flag.String("dist-partition", "", "comma-separated static build tables to hash-partition across workers instead of replicating (needs -dist; results identical)")
 		distParts    = flag.Int("dist-partitions", 0, "hash-partition count for -dist-partition (0 = worker count)")
+		distCompress = flag.Bool("dist-compress", false, "flate-compress distributed wire traffic (setup tables and large span payloads; results identical)")
 		distElastic  = flag.String("dist-elastic", "", "host:port to accept workers joining mid-query (needs -dist; joiners replay completed batches and enter at the next batch boundary)")
 		costProfile  = flag.String("cost-profile", "", "JSON file with the learned per-row cost profile: read if present, rewritten after the run")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -142,6 +143,7 @@ func main() {
 		maxRows: *maxRows, workers: *workers, stateBudget: *stateBudget,
 		distAddrs: *distAddrs, distPartition: *distPart, distPartitions: *distParts,
 		distElastic: *distElastic, costProfile: *costProfile,
+		distCompress: *distCompress,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iolap:", err)
@@ -162,6 +164,7 @@ type runConfig struct {
 	seed                            uint64
 	stateBudget                     int64
 	showPlan, showStats             bool
+	distCompress                    bool
 }
 
 // buildSession constructs the session from workload/csv/iol flags.
@@ -314,6 +317,7 @@ func run(cfg runConfig) error {
 	if cfg.distAddrs != "" {
 		opts.DistWorkers = strings.Split(cfg.distAddrs, ",")
 	}
+	opts.DistCompress = cfg.distCompress
 	if cfg.distPartition != "" {
 		opts.DistPartitionTables = strings.Split(cfg.distPartition, ",")
 		opts.DistPartitions = cfg.distPartitions

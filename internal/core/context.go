@@ -154,6 +154,13 @@ type Options struct {
 	// orphaned partitions locally. Required (> 0) when PartitionTables is
 	// set.
 	Partitions int
+	// WireCompression flate-compresses distributed wire traffic: the Setup
+	// table broadcast (columnar blocks) and span/merged payloads above a
+	// size threshold. Transport-only — compression changes bytes on the
+	// wire, never the decoded rows, so digests and the bit-identity
+	// contract are unaffected. The dist setup message ships it so every
+	// replica compresses symmetrically.
+	WireCompression bool
 }
 
 func (o Options) withDefaults() Options {

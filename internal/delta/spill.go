@@ -24,12 +24,21 @@ import (
 )
 
 // spillRef locates one on-disk run: n rows encoded in bytes bytes starting
-// at off in the owning shard's spill file.
+// at off in the owning shard's spill file. The run is either raw spill rows
+// or one flate-compressed chunk (self-describing by storage.ChunkCompressed;
+// a raw row can never start with the chunk magic byte). A ref may address
+// fewer rows than its chunk holds (compressed-run trim): readRefs decodes
+// exactly n rows and ignores the remainder.
 type spillRef struct {
 	off   int64
 	bytes int64
 	n     int
 }
+
+// spillCompressMin is the per-key run size below which spill chunks are
+// written raw: tiny runs don't amortize the flate stream overhead, and the
+// deflate call costs more than the bytes it saves.
+const spillCompressMin = 256
 
 // spillBackend is a registered store's connection to its SpillPolicy: the
 // per-shard spill files, lazily created, plus the logical append pointer for
@@ -75,6 +84,12 @@ func (sp *spillBackend) readRefs(dst []Row, s int, refs []spillRef) []Row {
 			panic(fmt.Sprintf("delta: spill scratch read failed: %v", err))
 		}
 		sp.policy.metrics.RecordSpillRead(len(buf))
+		if storage.ChunkCompressed(buf) {
+			var err error
+			if buf, err = storage.ExpandChunk(buf); err != nil {
+				panic(fmt.Sprintf("delta: spill scratch corrupt: %v", err))
+			}
+		}
 		for i := 0; i < ref.n; i++ {
 			vals, mult, w, n, err := storage.DecodeSpillRow(buf)
 			if err != nil {
@@ -97,6 +112,11 @@ func (sp *spillBackend) trimRef(s int, ref spillRef, m int) spillRef {
 		panic(fmt.Sprintf("delta: spill scratch read failed: %v", err))
 	}
 	sp.policy.metrics.RecordSpillRead(len(buf))
+	if storage.ChunkCompressed(buf) {
+		// A compressed run cannot be byte-trimmed; keep the chunk whole and
+		// reduce the row count — readRefs decodes exactly n rows.
+		return spillRef{off: ref.off, bytes: ref.bytes, n: m}
+	}
 	cut := 0
 	for i := 0; i < m; i++ {
 		n, err := storage.SpillRowSize(buf[cut:])
@@ -139,17 +159,22 @@ func (h *HashStore) spillShard(s int) error {
 		start, bytes, n int
 	}
 	spans := make([]span, len(keys))
-	var buf []byte
+	var buf, raw []byte
 	var err error
 	for i, k := range keys {
 		start := len(buf)
 		rows := sh.hot[k]
+		raw = raw[:0]
 		for _, r := range rows {
-			buf, err = storage.AppendSpillRow(buf, r.Vals, r.Mult, r.W)
+			raw, err = storage.AppendSpillRow(raw, r.Vals, r.Mult, r.W)
 			if err != nil {
 				return err
 			}
 		}
+		// Per-key runs above the threshold are written as one compressed
+		// chunk. Deterministic (fixed flate level over a pure function of
+		// contents), so the run layout stays worker-invariant.
+		buf = append(buf, storage.CompressChunk(raw, spillCompressMin)...)
 		spans[i] = span{start: start, bytes: len(buf) - start, n: len(rows)}
 	}
 	f, err := h.sp.file(s)

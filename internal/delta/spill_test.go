@@ -547,3 +547,66 @@ func TestBloomNoFalseNegatives(t *testing.T) {
 		t.Fatalf("only %d/5000 absent keys rejected; filter too weak", rejected)
 	}
 }
+
+// TestSpillCompressedRuns pins spill-chunk compression end to end: a key
+// whose per-key run exceeds the compression threshold spills as a flate
+// chunk (fewer file bytes written than the raw row encoding), reads back
+// identical rows, and a snapshot cut falling inside the compressed run
+// restores correctly — the trim keeps the chunk whole and reduces only the
+// decoded row count.
+func TestSpillCompressedRuns(t *testing.T) {
+	h, p, m := newSpillStore(t, 0)
+	twin := NewHashStore([]int{0})
+	mkRow := func(payload int) Row {
+		return Row{Vals: []rel.Value{
+			rel.Int(7),
+			rel.String(fmt.Sprintf("session-payload-%03d-east-region", payload)),
+		}, Mult: 1, W: []float64{1, 0.5}}
+	}
+	rawBytes := 0
+	p.Advance(1)
+	for i := 0; i < 48; i++ { // pre-snapshot rows, well past spillCompressMin
+		r := mkRow(i)
+		enc, err := storage.AppendSpillRow(nil, r.Vals, r.Mult, r.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawBytes += len(enc)
+		h.Add(r.Clone())
+		twin.Add(r.Clone())
+	}
+	snap, snapTwin := h.Snapshot(), twin.Snapshot()
+	p.Advance(2)
+	for i := 48; i < 64; i++ { // post-snapshot rows, same run after eviction
+		h.Add(mkRow(i))
+		twin.Add(mkRow(i))
+	}
+	if err := p.Enforce(); err != nil {
+		t.Fatal(err)
+	}
+	if h.SpilledRows() != h.Len() {
+		t.Fatalf("setup: %d of %d rows spilled, want all", h.SpilledRows(), h.Len())
+	}
+	if w := m.SpillBytesWritten(); w == 0 || int(w) >= rawBytes {
+		t.Fatalf("spill wrote %d bytes; want > 0 and < raw encoding %d (compression)", w, rawBytes)
+	}
+	sameRows(t, probeKey(h, 7), probeKey(twin, 7), "key 7 from compressed run")
+
+	// Restore cuts inside the compressed run: 48 of 64 rows survive.
+	h.Restore(snap)
+	twin.Restore(snapTwin)
+	if h.Len() != twin.Len() || h.SizeBytes() != twin.SizeBytes() {
+		t.Fatalf("restored accounting (%d, %d) != twin (%d, %d)",
+			h.Len(), h.SizeBytes(), twin.Len(), twin.SizeBytes())
+	}
+	sameRows(t, probeKey(h, 7), probeKey(twin, 7), "key 7 after compressed-run trim")
+
+	// The store stays usable: grow, spill again, probe through both runs.
+	p.Advance(3)
+	h.Add(mkRow(100))
+	twin.Add(mkRow(100))
+	if err := p.Enforce(); err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, probeKey(h, 7), probeKey(twin, 7), "key 7 after regrow")
+}

@@ -1,10 +1,15 @@
 // Message payload codecs. Everything a worker needs to build its engine
 // replica travels in one Setup frame: the engine options that affect results,
-// the SQL text, and the full serialized tables (rows framed with the
-// internal/storage spill-row codec, which round-trips values — float bit
-// patterns included — exactly). Scheduling-only options (Workers,
+// the SQL text, and the full serialized tables. Since protocol v3 tables ship
+// as columnar blocks (the internal/storage block codec: per-column banks,
+// optional flate compression) with a per-table row-codec fallback for
+// contents the block codec rejects; both round-trip values — float bit
+// patterns included — exactly. Scheduling-only options (Workers,
 // ParThreshold, the spill budget) are deliberately not shipped: they affect
-// placement, never results, so each participant picks its own.
+// placement, never results, so each participant picks its own. Compression
+// is transport-only the same way: it changes bytes on the wire, never the
+// decoded rows, so digests and the bit-identity contract are computed over
+// decoded contents and hold at any compression setting.
 package dist
 
 import (
@@ -17,6 +22,77 @@ import (
 	"iolap/internal/rel"
 	"iolap/internal/storage"
 )
+
+// Setup table serialization formats (1 byte per table).
+const (
+	tableFormatRows  = 0 // spill-row codec, one row per frame entry
+	tableFormatBlock = 1 // columnar blocks (internal/storage block codec)
+)
+
+// wireCompressMin is the payload size below which span/merged blobs are
+// never compressed: small payloads don't amortize the flate header, and the
+// deflate call itself costs more than shipping the bytes.
+const wireCompressMin = 1 << 10
+
+// Blob flags: a blob is a length-framed byte payload that is optionally
+// flate-compressed. Unlike spill chunks (which are self-describing by a
+// magic byte), wire payloads are arbitrary bytes, so the flag is explicit.
+const (
+	blobRaw   = 0
+	blobFlate = 1
+)
+
+// appendBlob appends payload b as a blob, compressing when enabled, the
+// payload is large enough, and flate actually wins.
+func appendBlob(dst []byte, b []byte, compress bool) []byte {
+	if compress && len(b) >= wireCompressMin {
+		if comp := storage.Deflate(nil, b); len(comp) < len(b) {
+			dst = append(dst, blobFlate)
+			dst = appendUvarint(dst, uint64(len(b)))
+			dst = appendUvarint(dst, uint64(len(comp)))
+			return append(dst, comp...)
+		}
+	}
+	dst = append(dst, blobRaw)
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// blob reads a blob, always returning bytes the caller owns: raw payloads
+// are copied out of the (reused) frame buffer, compressed ones decompress
+// into a fresh buffer. Never aliases r.b.
+func (r *reader) blob(what string) []byte {
+	flag := r.byteVal(what)
+	switch flag {
+	case blobRaw:
+		b := r.bytes(what)
+		if r.err != nil {
+			return nil
+		}
+		return append([]byte(nil), b...)
+	case blobFlate:
+		rawLen := r.uvarint(what)
+		comp := r.bytes(what)
+		if r.err != nil {
+			return nil
+		}
+		if rawLen > maxFrame {
+			r.fail(what)
+			return nil
+		}
+		out, err := storage.Inflate(comp, int(rawLen))
+		if err != nil {
+			r.err = fmt.Errorf("dist: %s: %w", what, err)
+			return nil
+		}
+		return out
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("dist: %s: bad blob flag %d", what, flag)
+		}
+		return nil
+	}
+}
 
 // setupMsg is the decoded msgSetup payload.
 type setupMsg struct {
@@ -73,6 +149,7 @@ func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.
 	for _, t := range opts.PartitionTables {
 		p = appendString(p, t)
 	}
+	p = appendBool(p, opts.WireCompression)
 
 	p = appendString(p, sqlText)
 
@@ -94,14 +171,50 @@ func encodeSetup(rank, minRows int, opts core.Options, sqlText string, db *exec.
 			p = appendString(p, c.Name)
 			p = append(p, byte(c.Type))
 		}
-		p = appendUvarint(p, uint64(len(r.Tuples)))
 		var err error
-		for _, t := range r.Tuples {
-			p, err = storage.AppendSpillRow(p, t.Vals, t.Mult, nil)
-			if err != nil {
-				return nil, fmt.Errorf("dist: serialize table %q: %w", name, err)
-			}
+		if p, err = appendTable(p, r, opts.WireCompression); err != nil {
+			return nil, fmt.Errorf("dist: serialize table %q: %w", name, err)
 		}
+	}
+	return p, nil
+}
+
+// appendTable serializes one relation's contents. Columnar blocks are the
+// default; contents the block codec rejects (KRef lineage values — possible
+// only for mid-pipeline state, never base catalogs, but the fallback keeps
+// the codec total) ship row-at-a-time with the spill-row codec.
+func appendTable(p []byte, r *rel.Relation, compress bool) ([]byte, error) {
+	blocks, err := appendTableBlocks(nil, r, compress)
+	if err == nil {
+		p = append(p, tableFormatBlock)
+		return append(p, blocks...), nil
+	}
+	p = append(p, tableFormatRows)
+	p = appendUvarint(p, uint64(len(r.Tuples)))
+	for _, t := range r.Tuples {
+		if p, err = storage.AppendSpillRow(p, t.Vals, t.Mult, nil); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// appendTableBlocks encodes the relation as length-framed columnar blocks of
+// at most storage.BlockMaxRows rows each.
+func appendTableBlocks(p []byte, r *rel.Relation, compress bool) ([]byte, error) {
+	nb := (len(r.Tuples) + storage.BlockMaxRows - 1) / storage.BlockMaxRows
+	p = appendUvarint(p, uint64(nb))
+	for lo := 0; lo < len(r.Tuples); lo += storage.BlockMaxRows {
+		hi := lo + storage.BlockMaxRows
+		if hi > len(r.Tuples) {
+			hi = len(r.Tuples)
+		}
+		enc, err := storage.EncodeBlock(nil, r.Schema, r.Tuples[lo:hi], compress)
+		if err != nil {
+			return nil, err
+		}
+		p = appendUvarint(p, uint64(len(enc)))
+		p = append(p, enc...)
 	}
 	return p, nil
 }
@@ -134,6 +247,7 @@ func decodeSetup(p []byte) (*setupMsg, error) {
 	for i := 0; i < npt && r.err == nil; i++ {
 		s.opts.PartitionTables = append(s.opts.PartitionTables, r.str("partition table"))
 	}
+	s.opts.WireCompression = r.boolean("wireCompression")
 	s.sqlText = r.str("sql")
 
 	nt := r.count("table count")
@@ -148,24 +262,53 @@ func decodeSetup(p []byte) (*setupMsg, error) {
 			col.Type = rel.Kind(r.byteVal("column kind"))
 			schema = append(schema, col)
 		}
-		nr := int(r.uvarint("row count"))
-		rln := rel.NewRelation(schema)
-		for j := 0; j < nr && r.err == nil; j++ {
-			vals, mult, _, sz, err := storage.DecodeSpillRow(r.b)
-			if err != nil {
-				r.err = fmt.Errorf("dist: table %q row %d: %w", t.name, j, err)
-				break
-			}
-			r.b = r.b[sz:]
-			rln.Tuples = append(rln.Tuples, rel.Tuple{Vals: vals, Mult: mult})
-		}
-		t.rel = rln
+		t.rel = decodeTable(r, t.name, schema)
 		s.tables = append(s.tables, t)
 	}
 	if err := r.done("setup"); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// decodeTable reads one table's contents in either serialization format.
+// Counts are bounded by the remaining payload before any allocation is sized
+// from them (every row and every block consumes at least one byte, so
+// remaining-bytes is a sound upper bound for both).
+func decodeTable(r *reader, name string, schema rel.Schema) *rel.Relation {
+	rln := rel.NewRelation(schema)
+	switch format := r.byteVal("table format"); format {
+	case tableFormatBlock:
+		nb := r.count("block count")
+		for i := 0; i < nb && r.err == nil; i++ {
+			enc := r.bytes("block")
+			if r.err != nil {
+				break
+			}
+			tuples, err := storage.DecodeBlock(enc, schema)
+			if err != nil {
+				r.err = fmt.Errorf("dist: table %q block %d: %w", name, i, err)
+				break
+			}
+			rln.Tuples = append(rln.Tuples, tuples...)
+		}
+	case tableFormatRows:
+		nr := r.count("row count")
+		for j := 0; j < nr && r.err == nil; j++ {
+			vals, mult, _, sz, err := storage.DecodeSpillRow(r.b)
+			if err != nil {
+				r.err = fmt.Errorf("dist: table %q row %d: %w", name, j, err)
+				break
+			}
+			r.b = r.b[sz:]
+			rln.Tuples = append(rln.Tuples, rel.Tuple{Vals: vals, Mult: mult})
+		}
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("dist: table %q: unknown serialization format %d", name, format)
+		}
+	}
+	return rln
 }
 
 // encodeStep freezes a batch's membership: the batch number plus the ranks of
@@ -218,12 +361,12 @@ type spanMsg struct {
 	payload []byte
 }
 
-func encodeSpan(seq uint64, lo, hi int, nanos uint64, payload []byte) []byte {
+func encodeSpan(seq uint64, lo, hi int, nanos uint64, payload []byte, compress bool) []byte {
 	p := appendUvarint(nil, seq)
 	p = appendUvarint(p, uint64(lo))
 	p = appendUvarint(p, uint64(hi))
 	p = appendUvarint(p, nanos)
-	return append(p, payload...)
+	return appendBlob(p, payload, compress)
 }
 
 func decodeSpan(p []byte) (spanMsg, error) {
@@ -234,10 +377,10 @@ func decodeSpan(p []byte) (spanMsg, error) {
 		hi:    int(r.uvarint("hi")),
 		nanos: r.uvarint("nanos"),
 	}
-	if r.err != nil {
-		return spanMsg{}, r.err
+	sm.payload = r.blob("span payload")
+	if err := r.done("span"); err != nil {
+		return spanMsg{}, err
 	}
-	sm.payload = r.b
 	return sm, nil
 }
 
@@ -258,14 +401,13 @@ func decodeCompute(p []byte) (seq uint64, lo, hi int, err error) {
 // encodeMerged carries the complete merged site: every span's payload in
 // ascending span order. All replicas — the coordinator included — apply these
 // identical bytes, which is the bit-identity argument in one sentence.
-func encodeMerged(seq uint64, spans [][2]int, payloads [][]byte) []byte {
+func encodeMerged(seq uint64, spans [][2]int, payloads [][]byte, compress bool) []byte {
 	p := appendUvarint(nil, seq)
 	p = appendUvarint(p, uint64(len(spans)))
 	for i, sp := range spans {
 		p = appendUvarint(p, uint64(sp[0]))
 		p = appendUvarint(p, uint64(sp[1]))
-		p = appendUvarint(p, uint64(len(payloads[i])))
-		p = append(p, payloads[i]...)
+		p = appendBlob(p, payloads[i], compress)
 	}
 	return p
 }
@@ -279,7 +421,7 @@ func decodeMerged(p []byte) (seq uint64, spans []spanMsg, err error) {
 		sm := spanMsg{seq: seq}
 		sm.lo = int(r.uvarint("merged lo"))
 		sm.hi = int(r.uvarint("merged hi"))
-		sm.payload = r.bytes("merged payload")
+		sm.payload = r.blob("merged payload")
 		spans = append(spans, sm)
 	}
 	return seq, spans, r.done("merged")

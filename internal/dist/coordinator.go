@@ -131,6 +131,10 @@ type peer struct {
 	// cost tracks this worker's measured per-row compute cost (EWMA over
 	// the nanos its span frames report), driving its span weight.
 	cost *cluster.CostModel
+	// rbuf is the connection's reusable frame-read buffer; recv's payloads
+	// alias it and are consumed (decoded with copying readers) before the
+	// next recv on the same peer.
+	rbuf []byte
 }
 
 // Coordinator drives a set of remote workers in lockstep with a local engine
@@ -576,7 +580,7 @@ func (c *Coordinator) Exchange(class cluster.OpClass, n int, compute func(lo, hi
 
 	// Broadcast the complete merged site so every surviving replica applies
 	// the identical bytes.
-	mp := encodeMerged(seq, spans, payloads)
+	mp := encodeMerged(seq, spans, payloads, c.bpOpts.WireCompression)
 	for _, w := range parts {
 		if !w.dead {
 			if err := c.send(w, msgMerged, mp); err != nil {
@@ -648,7 +652,7 @@ func (c *Coordinator) exchangePartitioned(seq uint64, class cluster.OpClass, n i
 			}
 		}
 	}
-	mp := encodeMerged(seq, spans, payloads)
+	mp := encodeMerged(seq, spans, payloads, c.bpOpts.WireCompression)
 	for _, w := range parts {
 		if !w.dead {
 			if err := c.send(w, msgMerged, mp); err != nil {
@@ -905,7 +909,7 @@ func (c *Coordinator) recv(p *peer, deadline time.Duration) (byte, []byte, error
 		return 0, nil, fmt.Errorf("dist: worker %d is dead", p.rank)
 	}
 	p.conn.SetReadDeadline(time.Now().Add(deadline))
-	typ, pl, err := readFrame(p.conn)
+	typ, pl, err := readFrameReuse(p.conn, &p.rbuf)
 	if err != nil {
 		return 0, nil, err
 	}

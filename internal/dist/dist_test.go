@@ -537,3 +537,29 @@ func TestWorkerRejectsGarbageSetup(t *testing.T) {
 		t.Fatal("worker session should report the setup failure")
 	}
 }
+
+// TestDistEquivalenceCompressed: WireCompression changes bytes on the wire,
+// never results. The compressed distributed run matches the local oracle on
+// every per-batch field bit for bit, and total coordinator→worker wire bytes
+// (dominated by the Setup table broadcast) drop materially.
+func TestDistEquivalenceCompressed(t *testing.T) {
+	query := distQueries[1].query // join_dim_group
+	local := runLocal(t, testDB(1200, 11, 0), query, baseOpts())
+	run := func(compress bool) ([]summary, int64) {
+		conns, stop := StartLoopback(2, WorkerOptions{Workers: 2})
+		defer stop()
+		opts := baseOpts()
+		opts.WireCompression = compress
+		got, coord := runDist(t, conns, testDB(1200, 11, 0), query, opts, forceDist())
+		_, broadcast := coord.WireStats()
+		return got, broadcast
+	}
+	plain, rawBytes := run(false)
+	compressed, compBytes := run(true)
+	assertSameRun(t, "compress_off", plain, local)
+	assertSameRun(t, "compress_on", compressed, local)
+	if compBytes >= rawBytes {
+		t.Fatalf("compressed broadcast %d B not below uncompressed %d B", compBytes, rawBytes)
+	}
+	t.Logf("broadcast bytes: %d raw, %d compressed (%.1fx)", rawBytes, compBytes, float64(rawBytes)/float64(compBytes))
+}

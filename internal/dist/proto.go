@@ -48,7 +48,10 @@ const (
 // code for bit-identical floats, so a version mismatch at Setup is fatal.
 // Version 2 added elastic membership (catch-up fields in Setup, per-batch
 // span weights in Step, compute nanos in Span) and partitioned shipping.
-const protoVersion = 2
+// Version 3 switched Setup table shipping to the columnar block codec (with
+// a row-codec fallback flag per table), added the WireCompression option to
+// the Setup payload, and framed span/merged payloads as compressible blobs.
+const protoVersion = 3
 
 // maxFrame bounds a single frame (1 GiB). Large sites split across spans stay
 // far below it; the limit exists so a corrupt length prefix cannot drive a
@@ -73,21 +76,37 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, returning its type and payload.
+// readFrame reads one frame, returning its type and a freshly allocated
+// payload.
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+	var scratch []byte
+	return readFrameReuse(r, &scratch)
+}
+
+// readFrameReuse reads one frame into *buf (grown as needed and kept for the
+// next call), returning its type and payload. The payload aliases *buf and
+// is valid only until the next readFrameReuse with the same buffer — every
+// decoder that retains payload bytes past the call (decodeSpan, decodeMerged)
+// must copy, which the blob reader does by construction. Reusing the buffer
+// removes the per-frame allocation from the protocol hot loop.
+func readFrameReuse(r io.Reader, buf *[]byte) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:4])
+	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrame {
 		return 0, nil, fmt.Errorf("dist: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	*buf = b
+	if _, err := io.ReadFull(r, b); err != nil {
 		return 0, nil, err
 	}
-	return buf[0], buf[1:], nil
+	return b[0], b[1:], nil
 }
 
 // assignSpans splits [0, n) into p contiguous spans with boundaries i·n/p —

@@ -11,6 +11,7 @@ import (
 	"iolap/internal/core"
 	"iolap/internal/exec"
 	"iolap/internal/rel"
+	"iolap/internal/storage"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -142,7 +143,7 @@ func TestMessageCodecs(t *testing.T) {
 		t.Fatal("misaligned weights: expected error")
 	}
 
-	sm, err := decodeSpan(encodeSpan(9, 10, 20, 1234, []byte{7, 8}))
+	sm, err := decodeSpan(encodeSpan(9, 10, 20, 1234, []byte{7, 8}, false))
 	if err != nil || sm.seq != 9 || sm.lo != 10 || sm.hi != 20 || sm.nanos != 1234 || !bytes.Equal(sm.payload, []byte{7, 8}) {
 		t.Fatalf("span: %+v %v", sm, err)
 	}
@@ -154,7 +155,7 @@ func TestMessageCodecs(t *testing.T) {
 
 	spans := [][2]int{{0, 2}, {2, 2}, {2, 5}}
 	payloads := [][]byte{{1, 2}, nil, {3, 4, 5}}
-	mseq, got, err := decodeMerged(encodeMerged(11, spans, payloads))
+	mseq, got, err := decodeMerged(encodeMerged(11, spans, payloads, false))
 	if err != nil || mseq != 11 || len(got) != 3 {
 		t.Fatalf("merged: %d %d %v", mseq, len(got), err)
 	}
@@ -216,5 +217,114 @@ func TestFaultConnKillOnFault(t *testing.T) {
 	b.SetReadDeadline(time.Now().Add(time.Second))
 	if _, err := b.Read(make([]byte, 1)); err == nil || isTimeout(err) {
 		t.Fatalf("peer read after kill: %v, want closed-pipe error", err)
+	}
+}
+
+// TestDecodeTableRejectsLyingCounts pins the bounds-guarded count fix: a row
+// or block count promising more entries than the remaining payload could
+// possibly hold must be rejected up front, never trusted.
+func TestDecodeTableRejectsLyingCounts(t *testing.T) {
+	schema := rel.Schema{{Name: "x", Type: rel.KInt}}
+	row, err := storage.AppendSpillRow(nil, []rel.Value{rel.Int(1)}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := append([]byte{tableFormatRows}, appendUvarint(nil, 1<<40)...)
+	rows = append(rows, row...)
+	r := &reader{b: rows}
+	decodeTable(r, "t", schema)
+	if r.err == nil {
+		t.Error("lying row count accepted")
+	}
+
+	blocks := append([]byte{tableFormatBlock}, appendUvarint(nil, 1<<40)...)
+	r = &reader{b: blocks}
+	decodeTable(r, "t", schema)
+	if r.err == nil {
+		t.Error("lying block count accepted")
+	}
+
+	r = &reader{b: []byte{0x7f}}
+	decodeTable(r, "t", schema)
+	if r.err == nil {
+		t.Error("unknown table format accepted")
+	}
+}
+
+// TestSetupRowFallbackForRefs: a table holding lineage references — which the
+// block codec rejects — round-trips through the per-table row-codec fallback,
+// with compression enabled everywhere else.
+func TestSetupRowFallbackForRefs(t *testing.T) {
+	db := exec.NewDB()
+	r := rel.NewRelation(rel.Schema{{Name: "v", Type: rel.KFloat}})
+	r.Append(rel.NewRef(rel.Ref{Op: 3, Key: "g|x", Col: 1}))
+	r.Append(rel.Float(2.5))
+	db.Put("refs", r)
+	opts := core.Options{WireCompression: true}
+	p, err := encodeSetup(1, 8, opts, "q", db, nil, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := decodeSetup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.opts.WireCompression {
+		t.Error("WireCompression option did not survive the round trip")
+	}
+	if len(s.tables) != 1 || !reflect.DeepEqual(s.tables[0].rel.Tuples, r.Tuples) {
+		t.Fatalf("ref table did not round-trip: %+v", s.tables)
+	}
+}
+
+// TestSpanPayloadOwnership pins the frame-buffer-reuse contract: decoded span
+// and merged payloads must not alias the input buffer, which readFrameReuse
+// overwrites on the next frame.
+func TestSpanPayloadOwnership(t *testing.T) {
+	enc := encodeSpan(1, 0, 4, 9, []byte{1, 2, 3, 4}, false)
+	sm, err := decodeSpan(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xee
+	}
+	if !bytes.Equal(sm.payload, []byte{1, 2, 3, 4}) {
+		t.Fatalf("span payload aliases the frame buffer: %v", sm.payload)
+	}
+
+	menc := encodeMerged(2, [][2]int{{0, 3}}, [][]byte{{9, 8, 7}}, false)
+	_, spans, err := decodeMerged(menc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range menc {
+		menc[i] = 0xee
+	}
+	if !bytes.Equal(spans[0].payload, []byte{9, 8, 7}) {
+		t.Fatalf("merged payload aliases the frame buffer: %v", spans[0].payload)
+	}
+}
+
+// TestSpanBlobCompression: payloads past the threshold ship flate-compressed
+// and decode to identical bytes; sub-threshold payloads stay raw even with
+// compression on.
+func TestSpanBlobCompression(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 512) // 4 KiB, compressible
+	raw := encodeSpan(1, 0, 9, 7, payload, false)
+	comp := encodeSpan(1, 0, 9, 7, payload, true)
+	if len(comp) >= len(raw) {
+		t.Fatalf("compressed span frame %d B not below raw %d B", len(comp), len(raw))
+	}
+	sm, err := decodeSpan(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sm.payload, payload) {
+		t.Fatal("compressed span payload did not round-trip")
+	}
+	small := []byte{1, 2, 3}
+	if got := encodeSpan(1, 0, 9, 7, small, true); !bytes.Equal(got, encodeSpan(1, 0, 9, 7, small, false)) {
+		t.Fatal("sub-threshold payload was not left raw")
 	}
 }

@@ -104,6 +104,13 @@ type workerSession struct {
 	// merges are span-decomposition insensitive, so one [0, n) span leaves
 	// the replica state bit-identical to the original distributed run.
 	selfMode bool
+	// compress mirrors the coordinator's WireCompression option (shipped in
+	// Setup): span payloads above the threshold go out flate-compressed.
+	compress bool
+	// rbuf is the session's reusable frame-read buffer; read's payloads
+	// alias it and are fully decoded (with copying readers) before the next
+	// read.
+	rbuf []byte
 
 	wireShuffle   int64 // bytes sent toward the coordinator
 	wireBroadcast int64 // bytes received from the coordinator
@@ -129,6 +136,7 @@ func (w *workerSession) run() error {
 	}
 	defer eng.Close()
 	w.rank, w.minRows = s.rank, s.minRows
+	w.compress = s.opts.WireCompression
 	if s.catchUp > 0 {
 		// Mid-query joiner: replay every completed batch against the full
 		// tables we were shipped, then prove convergence against the
@@ -298,7 +306,7 @@ func (w *workerSession) Exchange(class cluster.OpClass, n int, compute func(lo, 
 	nanos := uint64(time.Since(t0).Nanoseconds())
 	// Empty spans still ship: the frame doubles as a liveness signal and
 	// keeps the collection sequence identical on both ends.
-	if err := w.send(msgSpan, encodeSpan(seq, lo, hi, nanos, pl)); err != nil {
+	if err := w.send(msgSpan, encodeSpan(seq, lo, hi, nanos, pl, w.compress)); err != nil {
 		return err
 	}
 	for {
@@ -324,7 +332,7 @@ func (w *workerSession) Exchange(class cluster.OpClass, n int, compute func(lo, 
 			if err != nil {
 				return err
 			}
-			if err := w.send(msgSpan, encodeSpan(seq, clo, chi, uint64(time.Since(ct0).Nanoseconds()), cpl)); err != nil {
+			if err := w.send(msgSpan, encodeSpan(seq, clo, chi, uint64(time.Since(ct0).Nanoseconds()), cpl, w.compress)); err != nil {
 				return err
 			}
 		case msgMerged:
@@ -366,7 +374,7 @@ func (w *workerSession) WireStats() (shuffle, broadcast int64) {
 // without an explicit deadline of its own.
 func (w *workerSession) read() (byte, []byte, error) {
 	w.conn.SetReadDeadline(time.Now().Add(w.opts.IdleTimeout))
-	typ, pl, err := readFrame(w.conn)
+	typ, pl, err := readFrameReuse(w.conn, &w.rbuf)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -30,36 +30,72 @@ import (
 )
 
 // AppendSpillRow appends the encoding of one spill row to dst and returns
-// the extended slice. It errors on value kinds the codec does not know,
-// leaving dst unchanged in length beyond what was already there is NOT
-// guaranteed on error — callers treat an error as aborting the whole run.
+// the extended slice. The payload size is computed arithmetically up front,
+// so the minimal length prefix is written once and the payload bytes are
+// appended directly behind it — no reserved-gap memmove (the bytes produced
+// are identical to the old two-copy encoding). It errors on value kinds the
+// codec does not know, before touching dst.
 func AppendSpillRow(dst []byte, vals []rel.Value, mult float64, w []float64) ([]byte, error) {
-	// Encode the payload after a reserved max-length prefix, then move it
-	// back over the gap once the true length is known.
-	start := len(dst)
-	dst = append(dst, make([]byte, binary.MaxVarintLen64)...)
-	body := len(dst)
+	payload, err := spillRowPayloadSize(vals, w)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(payload))
 
 	dst = binary.AppendUvarint(dst, uint64(len(vals)))
-	var err error
 	for _, v := range vals {
-		dst, err = appendSpillValue(dst, v)
-		if err != nil {
-			return dst, err
-		}
+		dst, _ = appendSpillValue(dst, v) // kinds pre-validated by the size pass
 	}
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(mult))
 	dst = binary.AppendUvarint(dst, uint64(len(w)))
 	for _, f := range w {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 	}
+	return dst, nil
+}
 
-	payload := len(dst) - body
-	var pfx [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(pfx[:], uint64(payload))
-	copy(dst[start:], pfx[:n])
-	copy(dst[start+n:], dst[body:])
-	return dst[:start+n+payload], nil
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen is the encoded size of v as a zig-zag varint.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// spillRowPayloadSize computes the exact payload size AppendSpillRow will
+// produce, validating value kinds along the way.
+func spillRowPayloadSize(vals []rel.Value, w []float64) (int, error) {
+	n := uvarintLen(uint64(len(vals)))
+	for _, v := range vals {
+		n++ // kind tag
+		switch v.Kind() {
+		case rel.KNull:
+		case rel.KBool:
+			n++
+		case rel.KInt:
+			n += varintLen(v.Int())
+		case rel.KFloat:
+			n += 8
+		case rel.KString:
+			n += uvarintLen(uint64(len(v.Str()))) + len(v.Str())
+		case rel.KRef:
+			r := v.Ref()
+			n += varintLen(int64(r.Op)) + varintLen(int64(r.Col)) +
+				uvarintLen(uint64(len(r.Key))) + len(r.Key)
+		default:
+			return 0, fmt.Errorf("storage: cannot spill %v values", v.Kind())
+		}
+	}
+	n += 8 // multiplicity
+	n += uvarintLen(uint64(len(w))) + 8*len(w)
+	return n, nil
 }
 
 func appendSpillValue(dst []byte, v rel.Value) ([]byte, error) {

@@ -239,3 +239,44 @@ func TestFaultFSSchedules(t *testing.T) {
 		t.Fatalf("ops = (%d, %d), want (4, 2)", writes, syncs)
 	}
 }
+
+// TestAppendSpillRowSingleCopy pins the reserved-gap fix: with capacity
+// already available, appending a row allocates nothing (the old encoding
+// reserved MaxVarintLen64 and memmoved the payload over the gap; the size
+// pre-pass writes the prefix once). The encoded bytes stay identical to the
+// two-copy encoding, which TestSpillRowRoundTrip's decoder checks and the
+// size pre-pass guarantees by construction (minimal uvarint either way).
+func TestAppendSpillRowSingleCopy(t *testing.T) {
+	vals := []rel.Value{rel.Int(42), rel.String("east"), rel.Float(3.25),
+		rel.NewRef(rel.Ref{Op: 7, Key: "grp|a", Col: 2})}
+	w := []float64{1, 0.5, 2}
+	buf := make([]byte, 0, 1<<12)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = AppendSpillRow(buf[:0], vals, 2.5, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendSpillRow allocates %.1f times per row with spare capacity, want 0", allocs)
+	}
+	// The size pre-pass must agree exactly with the bytes produced.
+	size, err := spillRowPayloadSize(vals, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uvarintLen(uint64(size)) + size; want != len(buf) {
+		t.Errorf("payload size pre-pass computed %d total bytes, encoder wrote %d", want, len(buf))
+	}
+}
+
+func BenchmarkAppendSpillRow(b *testing.B) {
+	vals := []rel.Value{rel.Int(42), rel.String("some-key-value"), rel.Float(3.25), rel.Bool(true)}
+	w := []float64{1, 0.5, 2, 0, 1}
+	buf := make([]byte, 0, 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendSpillRow(buf[:0], vals, 1, w)
+	}
+}

@@ -182,6 +182,12 @@ type Options struct {
 	// digest, and enters the live set at the next batch boundary. Scaling
 	// up (or workers dying) never changes results.
 	DistElasticAddr string
+	// DistCompress flate-compresses distributed wire traffic: the setup
+	// table broadcast (shipped as columnar blocks) and span/merged payloads
+	// above a size threshold. Transport-only — it changes bytes on the
+	// wire, never decoded rows, so results stay bit-identical with it on
+	// or off. Worth enabling whenever workers are across a real network.
+	DistCompress bool
 	// CostProfile seeds the adaptive parallel-cutover model from a previous
 	// run's Cursor.CostSnapshot (the CLI persists it via -cost-profile), so
 	// a fresh process starts with learned per-row costs instead of
@@ -558,6 +564,7 @@ func (s *Session) Query(query string, opts *Options) (*Cursor, error) {
 	var stopLoop func()
 	var joinL net.Listener
 	if len(opts.DistWorkers) > 0 || opts.DistLoopback > 0 {
+		coreOpts.WireCompression = opts.DistCompress
 		if len(opts.DistPartitionTables) > 0 {
 			coreOpts.PartitionTables = opts.DistPartitionTables
 			coreOpts.Partitions = opts.DistPartitions
