@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check-race fuzz-seeds fuzz alloc-test bench bench-skew bench-dist bench-agg profile check
+.PHONY: build test vet race check-race fuzz-seeds fuzz alloc-test bench bench-skew bench-dist bench-agg bench-serve profile check
 
 build:
 	$(GO) build ./...
@@ -14,18 +14,21 @@ vet:
 # The equivalence suites force every partition-parallel path; -race proves
 # the shard-ownership claims of DESIGN.md §7 hold under the race detector —
 # including the spill fault-injection tests, whose concurrent probes read
-# spill files while workers insert into sibling shards, and the dist
+# spill files while workers insert into sibling shards, the dist
 # equivalence suite (DESIGN.md §9), whose loopback workers run full engine
-# replicas on goroutines inside the test process.
+# replicas on goroutines inside the test process, and the serving-engine
+# suite (DESIGN.md §12), whose concurrent sessions share one scan cohort
+# and whose stress test churns opens/cancels/closes from many goroutines.
 race:
 	$(GO) test -race ./...
 
 check-race: race
 
 # Run the fuzz corpora as plain tests: every seed in testdata/fuzz and every
-# f.Add seed goes through the spill-row codec round-trip properties.
+# f.Add seed goes through the spill-row codec round-trip properties and the
+# session-protocol frame decoders.
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/storage
+	$(GO) test -run Fuzz ./internal/storage ./internal/serve
 
 # Actually fuzz (open-ended; ctrl-C when satisfied, or FUZZTIME=1m make fuzz).
 FUZZTIME ?= 30s
@@ -60,11 +63,18 @@ bench-dist:
 bench-agg:
 	$(GO) run ./cmd/benchagg -o BENCH_agg.json
 
+# Serving-engine benchmark: concurrency levels of mixed Conviva sessions over
+# one shared scan, reporting time-to-first-estimate and p50/p99 estimate
+# refresh latency per level, every trajectory checked bit-identical against a
+# solo run. Writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/benchserve -o BENCH_serve.json
+
 # Allocation-regression tests: testing.AllocsPerRun pins the per-tuple
 # steady state of the kernel fold, the weight generator, and key encoding
 # at zero. GOMAXPROCS irrelevant — the tests cover Workers=1 and parallel.
 alloc-test:
-	$(GO) test -run 'Alloc' ./internal/agg ./internal/bootstrap ./internal/cluster ./internal/core ./internal/rel
+	$(GO) test -run 'Alloc' ./internal/agg ./internal/bootstrap ./internal/cluster ./internal/core ./internal/rel ./internal/serve
 
 # Profile a full engine run: cmd/iolap grew -cpuprofile/-memprofile; this
 # target produces both under ./profiles for `go tool pprof`.

@@ -1,0 +1,219 @@
+// Command benchserve measures the multi-query serving engine and writes
+// BENCH_serve.json. For each concurrency level it opens that many sessions
+// (mixed Conviva queries) against one serving engine — all riding one shared
+// mini-batch scan — and reports:
+//
+//   - ttfe: time from Open to the first estimate (median and p99 across
+//     sessions and reps) — the "first answer in seconds" serving promise.
+//
+//   - refresh p50/p99: the gap between consecutive estimates of a session,
+//     pooled across all sessions — how stale the freshest answer gets under
+//     concurrent load.
+//
+//   - wall: wall clock until every session has its exact answer.
+//
+//   - identical: whether every session's trajectory matched a solo run of
+//     the same query on a fresh engine, bit for bit (math.Float64bits) —
+//     sharing the scan must never perturb results.
+//
+//	benchserve -o BENCH_serve.json
+//	benchserve -rows 6000 -sessions 16 -batches 10 -reps 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"iolap/internal/serve"
+	"iolap/internal/workload"
+)
+
+// sessionQueries are the mixed per-slot queries (slot i runs queries[i%4]).
+var sessionQueries = []string{"C1", "C2", "C3", "C8"}
+
+type levelResult struct {
+	Sessions     int     `json:"sessions"`
+	TTFEMedianMs float64 `json:"ttfe_median_ms"`
+	TTFEP99Ms    float64 `json:"ttfe_p99_ms"`
+	RefreshP50Ms float64 `json:"refresh_p50_ms"`
+	RefreshP99Ms float64 `json:"refresh_p99_ms"`
+	WallMs       float64 `json:"wall_ms"`
+	Identical    bool    `json:"identical"`
+}
+
+type report struct {
+	ConvivaRows int           `json:"conviva_rows"`
+	Batches     int           `json:"batches"`
+	Trials      int           `json:"trials"`
+	Reps        int           `json:"reps"`
+	Cores       int           `json:"cores"`
+	Queries     []string      `json:"queries"`
+	Levels      []levelResult `json:"levels"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_serve.json", "output JSON path")
+		rows     = flag.Int("rows", 4000, "Conviva fact rows")
+		batches  = flag.Int("batches", 10, "shared mini-batch count")
+		trials   = flag.Int("trials", 20, "bootstrap trials")
+		reps     = flag.Int("reps", 3, "repetitions per level (median timings; identical must hold in every rep)")
+		maxConc  = flag.Int("sessions", 8, "highest concurrency level")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		sessWork = flag.Int("workers", 1, "per-session partition workers")
+	)
+	flag.Parse()
+
+	w := workload.Conviva(workload.ConvivaScale{Sessions: *rows, Seed: int64(*seed)})
+	rep := report{ConvivaRows: *rows, Batches: *batches, Trials: *trials,
+		Reps: *reps, Cores: runtime.NumCPU(), Queries: sessionQueries}
+
+	levels := []int{1, 4, *maxConc}
+	seen := map[int]bool{}
+	for _, k := range levels {
+		if k <= 0 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		lr, err := runLevel(w, k, *batches, *trials, *reps, *seed, *sessWork)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Levels = append(rep.Levels, *lr)
+		fmt.Printf("%2d sessions: ttfe %.2fms (p99 %.2fms)  refresh p50 %.2fms p99 %.2fms  wall %.2fms  identical=%v\n",
+			lr.Sessions, lr.TTFEMedianMs, lr.TTFEP99Ms, lr.RefreshP50Ms, lr.RefreshP99Ms,
+			lr.WallMs, lr.Identical)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// slotOpts builds slot i's session options; seeds differ per slot so the
+// solo-oracle comparison proves per-session streams stay independent.
+func slotOpts(w *workload.Workload, i int, trials, workers int, seed uint64) (string, serve.SessionOptions) {
+	q, _ := w.Query(sessionQueries[i%len(sessionQueries)])
+	return q.SQL, serve.SessionOptions{
+		Stream:  q.Stream,
+		Trials:  trials,
+		Slack:   2.0,
+		Seed:    seed + uint64(i),
+		Workers: workers,
+	}
+}
+
+// soloRun collects the oracle trajectory: the same query and options on a
+// fresh engine with nothing else running.
+func soloRun(w *workload.Workload, i, batches, trials, workers int, seed uint64) ([]*serve.Update, error) {
+	eng := serve.NewEngine(w.DB(), nil, w.Funcs, w.Aggs, serve.Config{Batches: batches})
+	defer eng.Close()
+	query, opts := slotOpts(w, i, trials, workers, seed)
+	s, err := eng.Open(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	var updates []*serve.Update
+	for s.Next() {
+		updates = append(updates, s.Update())
+	}
+	return updates, s.Err()
+}
+
+type slotTiming struct {
+	ttfe    time.Duration
+	gaps    []time.Duration
+	updates []*serve.Update
+	err     error
+}
+
+func runLevel(w *workload.Workload, k, batches, trials, reps int, seed uint64, workers int) (*levelResult, error) {
+	oracles := make([][]*serve.Update, k)
+	for i := range oracles {
+		tr, err := soloRun(w, i, batches, trials, workers, seed)
+		if err != nil {
+			return nil, fmt.Errorf("solo %d: %w", i, err)
+		}
+		oracles[i] = tr
+	}
+
+	lr := &levelResult{Sessions: k, Identical: true}
+	var ttfes, gaps, walls []time.Duration
+	for rep := 0; rep < reps; rep++ {
+		eng := serve.NewEngine(w.DB(), nil, w.Funcs, w.Aggs, serve.Config{Batches: batches})
+		slots := make([]slotTiming, k)
+		var wg sync.WaitGroup
+		wg.Add(k)
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			go func(i int) {
+				defer wg.Done()
+				query, opts := slotOpts(w, i, trials, workers, seed)
+				t0 := time.Now()
+				s, err := eng.Open(query, opts)
+				if err != nil {
+					slots[i].err = err
+					return
+				}
+				last := time.Time{}
+				for s.Next() {
+					now := time.Now()
+					if last.IsZero() {
+						slots[i].ttfe = now.Sub(t0)
+					} else {
+						slots[i].gaps = append(slots[i].gaps, now.Sub(last))
+					}
+					last = now
+					slots[i].updates = append(slots[i].updates, s.Update())
+				}
+				slots[i].err = s.Err()
+			}(i)
+		}
+		wg.Wait()
+		walls = append(walls, time.Since(start))
+		eng.Close()
+		for i, st := range slots {
+			if st.err != nil {
+				return nil, fmt.Errorf("level %d slot %d: %w", k, i, st.err)
+			}
+			if !serve.BitIdentical(st.updates, oracles[i]) {
+				lr.Identical = false
+			}
+			ttfes = append(ttfes, st.ttfe)
+			gaps = append(gaps, st.gaps...)
+		}
+	}
+	lr.TTFEMedianMs = msAt(ttfes, 0.50)
+	lr.TTFEP99Ms = msAt(ttfes, 0.99)
+	lr.RefreshP50Ms = msAt(gaps, 0.50)
+	lr.RefreshP99Ms = msAt(gaps, 0.99)
+	lr.WallMs = msAt(walls, 0.50)
+	return lr, nil
+}
+
+// msAt returns the q-quantile of ds in milliseconds.
+func msAt(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchserve:", err)
+	os.Exit(1)
+}

@@ -53,6 +53,10 @@ func main() {
 		workers      = flag.Int("workers", 0, "partition-parallel workers (0 = GOMAXPROCS; results identical at any count)")
 		stateBudget  = flag.Int64("state-budget", 0, "join-state budget in bytes: above it cold shards spill to disk (0 = unlimited, negative = spill everything; results identical at any budget)")
 		workerAddr   = flag.String("worker", "", "run as a distributed worker listening on host:port (serves coordinators forever; ignores the query flags)")
+		serveAddr    = flag.String("serve", "", "run as a serving endpoint on host:port: admit concurrent online-aggregation sessions from remote clients over the loaded tables, one shared scan per streamed table (ignores the query flags)")
+		serveBudget  = flag.Int64("serve-tenant-budget", 0, "per-tenant state-budget cap in bytes for -serve admission (0 = unlimited)")
+		serveQueue   = flag.Bool("serve-queue", false, "queue sessions FIFO at the -serve budget boundary instead of rejecting them")
+		serveMax     = flag.Int("serve-max-sessions", 0, "cap on concurrently admitted -serve sessions (0 = unlimited)")
 		joinAddr     = flag.String("join", "", "dial a coordinator's -dist-elastic address and join its running query as a worker (exits when the query ends)")
 		distAddrs    = flag.String("dist", "", "comma-separated worker addresses (host:port,...): distribute execution across them (results identical to local)")
 		distPart     = flag.String("dist-partition", "", "comma-separated static build tables to hash-partition across workers instead of replicating (needs -dist; results identical)")
@@ -102,6 +106,27 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *serveAddr != "" {
+		log.SetPrefix("iolap-serve ")
+		session, _, err := buildSession(*workloadName, *scale, *seed, *csvSpec, *iolSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		srv := session.NewServer(&iolap.ServeOptions{
+			Batches:           *batches,
+			TenantBudgetBytes: *serveBudget,
+			QueueOnBudget:     *serveQueue,
+			MaxSessions:       *serveMax,
+		})
+		addr, err := srv.ListenAndServe(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		log.Printf("serving sessions on %s (%d batches per scan)", addr, *batches)
+		select {} // serve until killed
 	}
 	if *joinAddr != "" {
 		log.SetPrefix("iolap-worker ")

@@ -161,6 +161,17 @@ type Options struct {
 	// contract are unaffected. The dist setup message ships it so every
 	// replica compresses symmetrically.
 	WireCompression bool
+	// Deltas, when non-empty, supplies the mini-batch schedule directly
+	// instead of having the engine partition the streamed table itself:
+	// element i is batch i+1's delta relation. This is the shared-scan seam
+	// of the serving layer (internal/serve): the server partitions each
+	// streamed table exactly once and hands every session's engine the same
+	// slices, so N concurrent delta pipelines read one shared copy of the
+	// data. Every element must carry the streamed table's schema; the
+	// schedule overrides Batches, PreShuffle, BlockRows and StratifyBy. A
+	// solo engine given the same schedule produces a bit-identical
+	// trajectory — sharing changes memory layout, never results.
+	Deltas []*rel.Relation
 }
 
 func (o Options) withDefaults() Options {

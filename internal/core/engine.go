@@ -164,54 +164,51 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 		e.Close()
 		return nil, fmt.Errorf("core: streamed table %q not in database", table)
 	}
-	if opts.PreShuffle {
-		src = cluster.Shuffle(src, opts.Seed)
-	}
-	if opts.BlockRows > 0 {
-		// Block-wise randomness: permute whole blocks, keep rows within a
-		// block together (Section 2's default).
-		table := &storage.Table{Rel: src}
-		for lo := 0; lo < src.Len(); lo += opts.BlockRows {
-			table.BlockStarts = append(table.BlockStarts, lo)
-		}
-		src = table.ShuffleBlocks(opts.Seed ^ 0xb10c)
-	}
-	p := opts.Batches
-	if p > src.Len() && src.Len() > 0 {
-		p = src.Len()
-	}
-	if p <= 0 {
-		p = 1
-	}
+	totalRows := src.Len()
 	var deltas []*rel.Relation
-	if opts.StratifyBy != "" {
-		idx, err := src.Schema.Resolve("", opts.StratifyBy)
-		if err != nil {
-			e.Close()
-			return nil, fmt.Errorf("core: stratify column: %w", err)
+	if len(opts.Deltas) > 0 {
+		// Caller-supplied schedule (the serving layer's shared scan): the
+		// engine consumes the given slices verbatim and sizes itself by
+		// them, so every session sharing the schedule sees the same |D|.
+		deltas = opts.Deltas
+		totalRows = 0
+		for i, d := range deltas {
+			if len(d.Schema) != len(src.Schema) {
+				e.Close()
+				return nil, fmt.Errorf("core: supplied delta %d schema width %d != streamed table %q width %d",
+					i, len(d.Schema), table, len(src.Schema))
+			}
+			totalRows += d.Len()
 		}
-		deltas = stratifyBatches(src, idx, p)
 	} else {
-		// Contiguous blocks: the paper's default block-wise randomness
-		// (the generators emit pre-shuffled data; PreShuffle covers the
-		// rest).
-		deltas = make([]*rel.Relation, p)
-		n := src.Len()
-		for i := 0; i < p; i++ {
-			lo := i * n / p
-			hi := (i + 1) * n / p
-			d := rel.NewRelation(src.Schema)
-			// Full slice expression: capacity is clamped to the batch, so an
-			// append through this delta can never scribble over the first
-			// rows of the next batch in the shared backing array.
-			d.Tuples = src.Tuples[lo:hi:hi]
-			deltas[i] = d
+		if opts.PreShuffle {
+			src = cluster.Shuffle(src, opts.Seed)
+		}
+		if opts.BlockRows > 0 {
+			// Block-wise randomness: permute whole blocks, keep rows within a
+			// block together (Section 2's default).
+			table := &storage.Table{Rel: src}
+			for lo := 0; lo < src.Len(); lo += opts.BlockRows {
+				table.BlockStarts = append(table.BlockStarts, lo)
+			}
+			src = table.ShuffleBlocks(opts.Seed ^ 0xb10c)
+		}
+		if opts.StratifyBy != "" {
+			idx, err := src.Schema.Resolve("", opts.StratifyBy)
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("core: stratify column: %w", err)
+			}
+			p := clampBatches(opts.Batches, src.Len())
+			deltas = stratifyBatches(src, idx, p)
+		} else {
+			deltas = ContiguousDeltas(src, opts.Batches)
 		}
 	}
 	e.comp = comp
 	e.streamedTable = table
 	e.deltas = deltas
-	e.totalRows = src.Len()
+	e.totalRows = totalRows
 	e.pool = cluster.NewPool(opts.Workers)
 	e.cost = cluster.NewCostModel(opts.ParThreshold)
 	e.cost.Seed(opts.CostSeed)
@@ -601,6 +598,41 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// clampBatches bounds the requested batch count by the row count (a batch
+// must hold at least one row) and floors it at one.
+func clampBatches(p, rows int) int {
+	if p > rows && rows > 0 {
+		p = rows
+	}
+	if p <= 0 {
+		p = 1
+	}
+	return p
+}
+
+// ContiguousDeltas partitions src into p contiguous mini-batches with the
+// engine's default boundaries (i·n/p) — exactly the slices NewEngine derives
+// when Options.Deltas is empty. Exported so a serving layer can partition a
+// shared table once and hand every session's engine the same schedule via
+// Options.Deltas: the slices alias src's backing array, so N sessions scan
+// one copy of the data.
+func ContiguousDeltas(src *rel.Relation, p int) []*rel.Relation {
+	p = clampBatches(p, src.Len())
+	deltas := make([]*rel.Relation, p)
+	n := src.Len()
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		d := rel.NewRelation(src.Schema)
+		// Full slice expression: capacity is clamped to the batch, so an
+		// append through this delta can never scribble over the first
+		// rows of the next batch in the shared backing array.
+		d.Tuples = src.Tuples[lo:hi:hi]
+		deltas[i] = d
+	}
+	return deltas
 }
 
 // stratifyBatches splits the streamed relation into p mini-batches that

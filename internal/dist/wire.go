@@ -1,0 +1,99 @@
+package dist
+
+import "io"
+
+// Exported wire helpers: the serving session protocol (internal/serve) is
+// layered on the same length-prefixed frame format and payload primitives as
+// the distributed-execution protocol, so the framing and the hardened
+// truncation/corruption-rejecting reader live here once. The two protocols
+// never share a connection — a dist worker speaks msgSetup/msgStep/... frames,
+// a serving endpoint speaks the serve package's frame types — they share only
+// the byte-level grammar.
+
+// WriteFrame sends one frame — 4-byte big-endian length, one type byte, then
+// the payload — as a single Write, so counting wrappers see whole frames.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	return writeFrame(w, typ, payload)
+}
+
+// ReadFrame reads one frame, returning its type and a freshly allocated
+// payload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	return readFrame(r)
+}
+
+// ReadFrameReuse reads one frame into *buf (grown as needed and kept for the
+// next call), returning its type and payload. The payload aliases *buf and is
+// valid only until the next ReadFrameReuse with the same buffer — decoders
+// that retain payload bytes past the call must copy.
+func ReadFrameReuse(r io.Reader, buf *[]byte) (byte, []byte, error) {
+	return readFrameReuse(r, buf)
+}
+
+// Payload append primitives (the encode side of WireReader).
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte { return appendUvarint(dst, v) }
+
+// AppendVarint appends a zig-zag signed varint.
+func AppendVarint(dst []byte, v int64) []byte { return appendVarint(dst, v) }
+
+// AppendString appends a uvarint length followed by the bytes.
+func AppendString(dst []byte, s string) []byte { return appendString(dst, s) }
+
+// AppendBytes appends a uvarint length followed by the bytes.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(dst []byte, b bool) []byte { return appendBool(dst, b) }
+
+// AppendU64 appends a fixed-width little-endian uint64 (Float64bits carrier:
+// fixed width keeps float payloads bit-exact and varint-free).
+func AppendU64(dst []byte, v uint64) []byte { return appendU64(dst, v) }
+
+// WireReader decodes payload primitives with first-error latching: callers
+// chain reads and check Done once at the end. Every length-prefixed read is
+// bounded by the remaining payload, so corrupt counts cannot drive huge
+// allocations.
+type WireReader struct {
+	r reader
+}
+
+// NewWireReader wraps a payload for decoding.
+func NewWireReader(b []byte) *WireReader { return &WireReader{r: reader{b: b}} }
+
+// Uvarint reads an unsigned varint; what labels the error.
+func (w *WireReader) Uvarint(what string) uint64 { return w.r.uvarint(what) }
+
+// Varint reads a zig-zag signed varint.
+func (w *WireReader) Varint(what string) int64 { return w.r.varint(what) }
+
+// Count reads a uvarint bounded by the remaining payload length.
+func (w *WireReader) Count(what string) int { return w.r.count(what) }
+
+// Str reads a length-prefixed string.
+func (w *WireReader) Str(what string) string { return w.r.str(what) }
+
+// Bytes reads a length-prefixed byte slice aliasing the payload.
+func (w *WireReader) Bytes(what string) []byte { return w.r.bytes(what) }
+
+// Bool reads one strict boolean byte (values other than 0/1 are corrupt).
+func (w *WireReader) Bool(what string) bool { return w.r.boolean(what) }
+
+// Byte reads one raw byte.
+func (w *WireReader) Byte(what string) byte { return w.r.byteVal(what) }
+
+// U64 reads a fixed-width little-endian uint64.
+func (w *WireReader) U64(what string) uint64 { return w.r.u64(what) }
+
+// Remaining returns how many undecoded bytes are left.
+func (w *WireReader) Remaining() int { return len(w.r.b) }
+
+// Done returns the latched error, or an error if trailing bytes remain.
+func (w *WireReader) Done(what string) error { return w.r.done(what) }
+
+// Err returns the latched error without requiring the payload be consumed.
+func (w *WireReader) Err() error { return w.r.err }

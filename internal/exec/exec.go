@@ -40,6 +40,18 @@ func (db *DB) Get(name string) (*rel.Relation, bool) {
 	return r, ok
 }
 
+// Clone returns a shallow copy of the database: a fresh name→relation map
+// over the same materialised relations. The serving engine freezes its table
+// set with it, so a later Put on the source cannot race the long-lived scan
+// loops reading the snapshot.
+func (db *DB) Clone() *DB {
+	out := NewDB()
+	for name, r := range db.tables {
+		out.tables[name] = r
+	}
+	return out
+}
+
 // Tables returns the table names, sorted for run-to-run determinism.
 func (db *DB) Tables() []string {
 	out := make([]string, 0, len(db.tables))

@@ -130,6 +130,7 @@ func All() []Experiment {
 		{ID: "scale", Paper: "(extra) scale sensitivity of the tiny-group deviations", Run: ScaleSensitivity},
 		{ID: "dist", Paper: "(extra) local vs loopback vs TCP distributed execution, TPC-H Q3/Q17", Run: Dist},
 		{ID: "dist-elastic", Paper: "(extra) elastic distributed execution: mid-query join, kill, join+kill", Run: DistElastic},
+		{ID: "serve", Paper: "(extra) multi-query serving: concurrent sessions over one shared scan", Run: Serve},
 	}
 }
 

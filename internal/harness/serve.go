@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"iolap/internal/serve"
+)
+
+// Serve measures the multi-query serving engine: concurrency levels of mixed
+// Conviva sessions over one shared scan, reporting time-to-first-estimate,
+// p99 estimate-refresh latency and wall clock per level, with every
+// session's trajectory checked bit-identical against a solo run.
+func Serve(cfg Config) ([]*Result, error) {
+	cfg = cfg.WithDefaults()
+	w := cfg.conviva()
+	queries := []string{"C1", "C2", "C3", "C8"}
+
+	res := &Result{
+		ID:     "serve",
+		Title:  "multi-query serving: concurrent sessions over one shared scan",
+		Header: []string{"sessions", "ttfe_ms", "ttfe_p99_ms", "refresh_p50_ms", "refresh_p99_ms", "wall_ms", "identical"},
+		Notes: []string{
+			"each session is an independent delta pipeline fed by the shared mini-batch scan",
+			"identical: every trajectory matches a solo run bit for bit (math.Float64bits)",
+		},
+	}
+
+	open := func(eng *serve.Engine, slot int) (*serve.Session, error) {
+		q, _ := w.Query(queries[slot%len(queries)])
+		return eng.Open(q.SQL, serve.SessionOptions{
+			Stream: q.Stream, Trials: cfg.Trials, Slack: cfg.Slack,
+			Seed: cfg.Seed + uint64(slot), Workers: 1,
+		})
+	}
+
+	for _, k := range []int{1, 2, 4, 8} {
+		// Solo oracles: the same slots on fresh, otherwise-idle engines.
+		oracles := make([][]*serve.Update, k)
+		for i := range oracles {
+			eng := serve.NewEngine(w.DB(), nil, w.Funcs, w.Aggs, serve.Config{Batches: cfg.Batches})
+			s, err := open(eng, i)
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("serve solo %d: %w", i, err)
+			}
+			for s.Next() {
+				oracles[i] = append(oracles[i], s.Update())
+			}
+			err = s.Err()
+			eng.Close()
+			if err != nil {
+				return nil, fmt.Errorf("serve solo %d: %w", i, err)
+			}
+		}
+
+		eng := serve.NewEngine(w.DB(), nil, w.Funcs, w.Aggs, serve.Config{Batches: cfg.Batches})
+		type slot struct {
+			ttfe    time.Duration
+			gaps    []time.Duration
+			updates []*serve.Update
+			err     error
+		}
+		slots := make([]slot, k)
+		var wg sync.WaitGroup
+		wg.Add(k)
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			go func(i int) {
+				defer wg.Done()
+				t0 := time.Now()
+				s, err := open(eng, i)
+				if err != nil {
+					slots[i].err = err
+					return
+				}
+				last := time.Time{}
+				for s.Next() {
+					now := time.Now()
+					if last.IsZero() {
+						slots[i].ttfe = now.Sub(t0)
+					} else {
+						slots[i].gaps = append(slots[i].gaps, now.Sub(last))
+					}
+					last = now
+					slots[i].updates = append(slots[i].updates, s.Update())
+				}
+				slots[i].err = s.Err()
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		eng.Close()
+
+		identical := true
+		var ttfes, gaps []time.Duration
+		for i := range slots {
+			if slots[i].err != nil {
+				return nil, fmt.Errorf("serve level %d slot %d: %w", k, i, slots[i].err)
+			}
+			if !serve.BitIdentical(slots[i].updates, oracles[i]) {
+				identical = false
+			}
+			ttfes = append(ttfes, slots[i].ttfe)
+			gaps = append(gaps, slots[i].gaps...)
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(k),
+			quantMs(ttfes, 0.50), quantMs(ttfes, 0.99),
+			quantMs(gaps, 0.50), quantMs(gaps, 0.99),
+			ms(wall), fmt.Sprint(identical),
+		})
+	}
+	return []*Result{res}, nil
+}
+
+// quantMs renders the q-quantile of ds in milliseconds.
+func quantMs(ds []time.Duration, q float64) string {
+	if len(ds) == 0 {
+		return "0.00"
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return fmt.Sprintf("%.2f", float64(sorted[idx].Nanoseconds())/1e6)
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// measureFanoutAllocsPerTuple pins the steady-state allocation cost of the
+// shared-scan fan-out: k sessions of the same aggregate query sharing one
+// batch schedule, each batch stepped through the same goroutine-per-session
+// fan-out runPass uses. The scan loop is held (holdScans) so the pass is
+// driven by hand — batch 1 is the warm-up (it builds each session's groups,
+// scratch buffers and weight slab), batches 2..p are measured.
+func measureFanoutAllocsPerTuple(t *testing.T, query string, n, k int) float64 {
+	t.Helper()
+	const batches = 8
+	db := testDB(n, 42)
+	eng := NewEngine(db, testStreamed, nil, nil, Config{Batches: batches})
+	defer eng.Close()
+	holdScans(eng, "sessions")
+	for i := 0; i < k; i++ {
+		if _, err := eng.Open(query, SessionOptions{Trials: 100, Seed: uint64(i), Workers: 1}); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	eng.mu.Lock()
+	cohort := eng.pending["sessions"]
+	eng.pending["sessions"] = nil
+	eng.mu.Unlock()
+	if len(cohort) != k {
+		t.Fatalf("cohort = %d sessions, want %d", len(cohort), k)
+	}
+	for _, s := range cohort {
+		s.setState(StateRunning)
+		s.stepOnce() // warm-up batch
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var wg sync.WaitGroup
+	for b := 1; b < batches; b++ {
+		wg.Add(len(cohort))
+		for _, s := range cohort {
+			go func(s *Session) {
+				defer wg.Done()
+				s.stepOnce()
+			}(s)
+		}
+		wg.Wait()
+	}
+	runtime.ReadMemStats(&after)
+	for _, s := range cohort {
+		s.mu.Lock()
+		failed := s.err
+		s.mu.Unlock()
+		if failed != nil {
+			t.Fatalf("session %d: %v", s.id, failed)
+		}
+		eng.finish(s, nil, true)
+	}
+	tuples := float64(n) * float64(batches-1) / float64(batches) * float64(k)
+	return float64(after.Mallocs-before.Mallocs) / tuples
+}
+
+// TestFanoutAllocsPerTupleSteadyState bounds the per-tuple allocations of
+// the multi-session fan-out. The per-tuple path inside each delta pipeline
+// is allocation-free (see core's pin); what serve adds per batch — the
+// goroutine spawn per session, the update conversion and the buffered
+// channel send — is per-batch overhead that must amortize far below one
+// allocation per streamed tuple. A regression that allocates per tuple in
+// the fan-out (or re-copies batches per session) trips the bound at once.
+func TestFanoutAllocsPerTupleSteadyState(t *testing.T) {
+	const n = 16000
+	const bound = 0.5
+	queries := []struct{ name, q string }{
+		{"global_agg", `SELECT COUNT(*) AS n, AVG(buffer_time) AS abt, SUM(play_time) AS spt FROM sessions`},
+		{"group_by", `SELECT cdn, SUM(play_time) AS spt, STDDEV(buffer_time) AS sbt FROM sessions GROUP BY cdn`},
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 4} {
+			got := measureFanoutAllocsPerTuple(t, q.q, n, k)
+			if got > bound {
+				t.Errorf("%s sessions=%d: %.3f allocs/tuple, want <= %v", q.name, k, got, bound)
+			}
+		}
+	}
+}

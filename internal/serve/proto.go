@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/dist"
+	"iolap/internal/rel"
+	"iolap/internal/storage"
+)
+
+// The session protocol: Open/Estimate/Cancel/Close frames layered on the
+// dist package's length-prefixed frame format (4-byte big-endian length, one
+// type byte, payload) and its hardened payload reader. One connection
+// multiplexes many sessions — every frame after the Open handshake carries a
+// session id — and floats travel as raw Float64bits, so a remote client's
+// estimate trajectory is bit-identical to a local session's.
+//
+// Client→server: Open, Cancel, Close (Close ≡ Cancel; it exists so clients
+// can distinguish teardown from user cancellation in traces).
+// Server→client: OpenOK or OpenErr (answering the connection's oldest
+// unanswered Open — clients serialize Opens), then per session any number of
+// Estimate frames followed by exactly one Done.
+
+// Session frame types. The byte values share nothing with the dist
+// execution protocol — the two never share a connection — but start at 0x20
+// so a stray cross-wired peer fails loudly on an unknown type instead of
+// half-parsing.
+const (
+	frOpen    byte = 0x20 + iota // c→s: version, tenant, options, query
+	frCancel                     // c→s: sid — tear the session down
+	frClose                      // c→s: sid — client-side close (≡ Cancel)
+	frOpenOK                     // s→c: sid, batches, queued
+	frOpenErr                    // s→c: code, message
+	frEstimate                   // s→c: sid + one Update
+	frDone                       // s→c: sid, code, message
+)
+
+// sessionProtoVersion guards against mixed binaries, like the dist
+// protocol's version byte.
+const sessionProtoVersion = 1
+
+// OpenErr / Done status codes.
+const (
+	codeOK        byte = 0 // Done: pass completed, exact answer delivered
+	codeCancelled byte = 1 // Done: session cancelled
+	codeError     byte = 2 // Done/OpenErr: failure, message attached
+	codeBudget    byte = 3 // OpenErr: admission rejected (ErrBudgetExhausted)
+)
+
+// openReq is the decoded form of an Open frame.
+type openReq struct {
+	Tenant      string
+	Stream      string
+	Query       string
+	Mode        byte
+	Trials      int64
+	SlackBits   uint64
+	Seed        uint64
+	Workers     uint64
+	StateBudget int64
+}
+
+func appendOpen(dst []byte, o openReq) []byte {
+	dst = append(dst, sessionProtoVersion)
+	dst = dist.AppendString(dst, o.Tenant)
+	dst = dist.AppendString(dst, o.Stream)
+	dst = dist.AppendString(dst, o.Query)
+	dst = append(dst, o.Mode)
+	dst = dist.AppendVarint(dst, o.Trials)
+	dst = dist.AppendU64(dst, o.SlackBits)
+	dst = dist.AppendU64(dst, o.Seed)
+	dst = dist.AppendUvarint(dst, o.Workers)
+	dst = dist.AppendVarint(dst, o.StateBudget)
+	return dst
+}
+
+func decodeOpen(p []byte) (openReq, error) {
+	r := dist.NewWireReader(p)
+	if v := r.Byte("open version"); r.Err() == nil && v != sessionProtoVersion {
+		return openReq{}, fmt.Errorf("serve: session protocol version %d, want %d", v, sessionProtoVersion)
+	}
+	o := openReq{
+		Tenant:      r.Str("open tenant"),
+		Stream:      r.Str("open stream"),
+		Query:       r.Str("open query"),
+		Mode:        r.Byte("open mode"),
+		Trials:      r.Varint("open trials"),
+		SlackBits:   r.U64("open slack"),
+		Seed:        r.U64("open seed"),
+		Workers:     r.Uvarint("open workers"),
+		StateBudget: r.Varint("open state budget"),
+	}
+	return o, r.Done("open")
+}
+
+func appendOpenOK(dst []byte, sid uint64, batches int, queued bool) []byte {
+	dst = dist.AppendUvarint(dst, sid)
+	dst = dist.AppendUvarint(dst, uint64(batches))
+	dst = dist.AppendBool(dst, queued)
+	return dst
+}
+
+func decodeOpenOK(p []byte) (sid uint64, batches int, queued bool, err error) {
+	r := dist.NewWireReader(p)
+	sid = r.Uvarint("openok sid")
+	batches = int(r.Uvarint("openok batches"))
+	queued = r.Bool("openok queued")
+	return sid, batches, queued, r.Done("openok")
+}
+
+func appendStatus(dst []byte, code byte, msg string) []byte {
+	dst = append(dst, code)
+	return dist.AppendString(dst, msg)
+}
+
+func decodeStatus(p []byte) (code byte, msg string, err error) {
+	r := dist.NewWireReader(p)
+	code = r.Byte("status code")
+	msg = r.Str("status message")
+	return code, msg, r.Done("status")
+}
+
+func appendSID(dst []byte, sid uint64) []byte { return dist.AppendUvarint(dst, sid) }
+
+func decodeSID(p []byte) (uint64, error) {
+	r := dist.NewWireReader(p)
+	sid := r.Uvarint("sid")
+	return sid, r.Done("sid")
+}
+
+func appendDone(dst []byte, sid uint64, code byte, msg string) []byte {
+	dst = dist.AppendUvarint(dst, sid)
+	return appendStatus(dst, code, msg)
+}
+
+func decodeDone(p []byte) (sid uint64, code byte, msg string, err error) {
+	r := dist.NewWireReader(p)
+	sid = r.Uvarint("done sid")
+	code = r.Byte("done code")
+	msg = r.Str("done message")
+	return sid, code, msg, r.Done("done")
+}
+
+// appendEstimate encodes one session update. Result tuples ride the
+// fuzz-hardened spill-row codec (values + multiplicity, bit-exact floats);
+// estimate cells are five raw Float64bits words each.
+func appendEstimate(dst []byte, sid uint64, u *Update) ([]byte, error) {
+	dst = dist.AppendUvarint(dst, sid)
+	dst = dist.AppendUvarint(dst, uint64(u.Batch))
+	dst = dist.AppendUvarint(dst, uint64(u.Batches))
+	dst = dist.AppendU64(dst, math.Float64bits(u.Fraction))
+	dst = dist.AppendU64(dst, math.Float64bits(u.DurationMillis))
+	dst = dist.AppendUvarint(dst, uint64(u.Recomputed))
+	dst = dist.AppendUvarint(dst, uint64(len(u.Columns)))
+	for _, c := range u.Columns {
+		dst = dist.AppendString(dst, c)
+	}
+	dst = dist.AppendUvarint(dst, uint64(u.Result.Len()))
+	var rows []byte
+	var err error
+	for _, tp := range u.Result.Tuples {
+		rows, err = storage.AppendSpillRow(rows, tp.Vals, tp.Mult, nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: encode result row: %w", err)
+		}
+	}
+	dst = dist.AppendBytes(dst, rows)
+	for i := range u.Result.Tuples {
+		var es []bootstrap.Estimate
+		if i < len(u.Estimates) {
+			es = u.Estimates[i]
+		}
+		dst = dist.AppendUvarint(dst, uint64(len(es)))
+		for _, e := range es {
+			dst = dist.AppendU64(dst, math.Float64bits(e.Value))
+			dst = dist.AppendU64(dst, math.Float64bits(e.Stdev))
+			dst = dist.AppendU64(dst, math.Float64bits(e.CILo))
+			dst = dist.AppendU64(dst, math.Float64bits(e.CIHi))
+			dst = dist.AppendU64(dst, math.Float64bits(e.RelStd))
+		}
+	}
+	return dst, nil
+}
+
+// maxEstimateCells bounds the decoded estimate matrix: a corrupt count can
+// promise at most the cells its payload actually carries (5 words each), so
+// the check is belt-and-braces against allocation bombs.
+const maxEstimateCells = 1 << 22
+
+func decodeEstimate(p []byte) (sid uint64, u *Update, err error) {
+	r := dist.NewWireReader(p)
+	sid = r.Uvarint("estimate sid")
+	u = &Update{
+		Batch:   int(r.Uvarint("estimate batch")),
+		Batches: int(r.Uvarint("estimate batches")),
+	}
+	u.Fraction = math.Float64frombits(r.U64("estimate fraction"))
+	u.DurationMillis = math.Float64frombits(r.U64("estimate duration"))
+	u.Recomputed = int(r.Uvarint("estimate recomputed"))
+	ncols := r.Count("estimate column count")
+	if r.Err() != nil {
+		return 0, nil, r.Err()
+	}
+	u.Columns = make([]string, ncols)
+	for i := range u.Columns {
+		u.Columns[i] = r.Str("estimate column name")
+	}
+	nrows := int(r.Uvarint("estimate row count"))
+	rowsBlob := r.Bytes("estimate rows")
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	if nrows > len(rowsBlob) { // every encoded row costs >= 1 byte
+		return 0, nil, fmt.Errorf("serve: estimate row count %d exceeds payload", nrows)
+	}
+	schema := make(rel.Schema, ncols)
+	for i, c := range u.Columns {
+		schema[i] = rel.Column{Name: c, Type: rel.KNull}
+	}
+	result := rel.NewRelation(schema)
+	for i := 0; i < nrows; i++ {
+		vals, mult, _, n, err := storage.DecodeSpillRow(rowsBlob)
+		if err != nil {
+			return 0, nil, fmt.Errorf("serve: estimate row %d: %w", i, err)
+		}
+		rowsBlob = rowsBlob[n:]
+		if len(vals) != ncols {
+			return 0, nil, fmt.Errorf("serve: estimate row %d has %d values, want %d", i, len(vals), ncols)
+		}
+		result.Tuples = append(result.Tuples, rel.Tuple{Vals: vals, Mult: mult})
+		// Give the reconstructed schema the kinds of the first row so the
+		// client-side relation renders like the server's.
+		if i == 0 {
+			for j, v := range vals {
+				schema[j].Type = v.Kind()
+			}
+		}
+	}
+	if len(rowsBlob) != 0 {
+		return 0, nil, fmt.Errorf("serve: estimate rows blob has %d trailing bytes", len(rowsBlob))
+	}
+	u.Result = result
+	totalCells := 0
+	u.Estimates = make([][]bootstrap.Estimate, nrows)
+	for i := 0; i < nrows; i++ {
+		nest := r.Count("estimate est count")
+		if r.Err() != nil {
+			return 0, nil, r.Err()
+		}
+		if nest == 0 {
+			continue
+		}
+		totalCells += nest
+		if totalCells > maxEstimateCells || nest*40 > r.Remaining() {
+			return 0, nil, fmt.Errorf("serve: estimate cell count %d exceeds payload", nest)
+		}
+		es := make([]bootstrap.Estimate, nest)
+		for j := range es {
+			es[j] = bootstrap.Estimate{
+				Value:  math.Float64frombits(r.U64("estimate value")),
+				Stdev:  math.Float64frombits(r.U64("estimate stdev")),
+				CILo:   math.Float64frombits(r.U64("estimate cilo")),
+				CIHi:   math.Float64frombits(r.U64("estimate cihi")),
+				RelStd: math.Float64frombits(r.U64("estimate relstd")),
+			}
+		}
+		u.Estimates[i] = es
+	}
+	return sid, u, r.Done("estimate")
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"iolap/internal/bootstrap"
+	"iolap/internal/rel"
+)
+
+func testUpdate() *Update {
+	result := rel.NewRelation(rel.Schema{
+		{Name: "cdn", Type: rel.KString},
+		{Name: "spt", Type: rel.KFloat},
+		{Name: "n", Type: rel.KInt},
+	})
+	result.Tuples = append(result.Tuples,
+		rel.Tuple{Vals: []rel.Value{rel.String("c1"), rel.Float(123.456), rel.Int(42)}, Mult: 2.5},
+		rel.Tuple{Vals: []rel.Value{rel.String("c2"), rel.Float(math.Inf(1)), rel.Int(-7)}, Mult: 1},
+		rel.Tuple{Vals: []rel.Value{rel.Null(), rel.Float(-0.0), rel.Int(0)}, Mult: 0.125},
+	)
+	return &Update{
+		Batch: 3, Batches: 10, Fraction: 0.3,
+		Columns: []string{"cdn", "spt", "n"},
+		Result:  result,
+		Estimates: [][]bootstrap.Estimate{
+			{{}, {Value: 123.456, Stdev: 1.5, CILo: 120, CIHi: 126, RelStd: 0.012}, {}},
+			nil, // rows without estimates stay without estimates
+			{{}, {Value: math.NaN(), Stdev: math.SmallestNonzeroFloat64}, {}},
+		},
+	}
+}
+
+func TestEstimateRoundTrip(t *testing.T) {
+	u := testUpdate()
+	p, err := appendEstimate(nil, 99, u)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	sid, got, err := decodeEstimate(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sid != 99 {
+		t.Fatalf("sid = %d, want 99", sid)
+	}
+	if !updateBitIdentical(got, u) {
+		t.Fatal("round-trip changed the update")
+	}
+}
+
+// TestEstimateTruncationRejected: every proper prefix of a valid estimate
+// frame must fail to decode — no silent partial results.
+func TestEstimateTruncationRejected(t *testing.T) {
+	p, err := appendEstimate(nil, 7, testUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(p); i++ {
+		if _, _, err := decodeEstimate(p[:i]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", i, len(p))
+		}
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := openReq{
+		Tenant: "acme", Stream: "sessions",
+		Query: "SELECT COUNT(*) FROM sessions", Mode: 2,
+		Trials: -1, SlackBits: math.Float64bits(2.5),
+		Seed: 1 << 60, Workers: 8, StateBudget: -4096,
+	}
+	got, err := decodeOpen(appendOpen(nil, o))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != o {
+		t.Fatalf("round-trip: got %+v, want %+v", got, o)
+	}
+	// A wrong protocol version is rejected outright.
+	bad := appendOpen(nil, o)
+	bad[0] = sessionProtoVersion + 1
+	if _, err := decodeOpen(bad); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestControlFramesRoundTrip(t *testing.T) {
+	sid, batches, queued, err := decodeOpenOK(appendOpenOK(nil, 12, 10, true))
+	if err != nil || sid != 12 || batches != 10 || !queued {
+		t.Fatalf("openok: %d %d %v %v", sid, batches, queued, err)
+	}
+	code, msg, err := decodeStatus(appendStatus(nil, codeBudget, "no budget"))
+	if err != nil || code != codeBudget || msg != "no budget" {
+		t.Fatalf("status: %d %q %v", code, msg, err)
+	}
+	dsid, dcode, dmsg, err := decodeDone(appendDone(nil, 3, codeCancelled, "bye"))
+	if err != nil || dsid != 3 || dcode != codeCancelled || dmsg != "bye" {
+		t.Fatalf("done: %d %d %q %v", dsid, dcode, dmsg, err)
+	}
+	csid, err := decodeSID(appendSID(nil, 1<<40))
+	if err != nil || csid != 1<<40 {
+		t.Fatalf("sid: %d %v", csid, err)
+	}
+	// Trailing garbage after any control frame is corruption.
+	if _, _, _, err := decodeOpenOK(append(appendOpenOK(nil, 1, 2, false), 0)); err == nil {
+		t.Fatal("openok trailing byte accepted")
+	}
+	if _, err := decodeSID(append(appendSID(nil, 5), 9)); err == nil {
+		t.Fatal("sid trailing byte accepted")
+	}
+}
+
+// FuzzSessionProto drives every session-protocol decoder with arbitrary
+// payloads (first byte selects the frame type) and enforces the round-trip
+// property: anything that decodes must re-encode to a payload that decodes
+// to the same value, floats compared by bits. Decoders must reject
+// truncation and corruption with an error, never panic or over-allocate.
+func FuzzSessionProto(f *testing.F) {
+	u := testUpdate()
+	est, _ := appendEstimate(nil, 5, u)
+	f.Add(append([]byte{frOpen}, appendOpen(nil, openReq{
+		Tenant: "t", Stream: "sessions", Query: "SELECT 1", Trials: 10})...))
+	f.Add(append([]byte{frEstimate}, est...))
+	f.Add(append([]byte{frOpenOK}, appendOpenOK(nil, 1, 10, false)...))
+	f.Add(append([]byte{frOpenErr}, appendStatus(nil, codeBudget, "over budget")...))
+	f.Add(append([]byte{frDone}, appendDone(nil, 2, codeOK, "")...))
+	f.Add(append([]byte{frCancel}, appendSID(nil, 3)...))
+	f.Add(append([]byte{frEstimate}, est[:len(est)/2]...)) // truncation seed
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		typ, payload := data[0], data[1:]
+		switch typ {
+		case frOpen:
+			o, err := decodeOpen(payload)
+			if err != nil {
+				return
+			}
+			o2, err := decodeOpen(appendOpen(nil, o))
+			if err != nil || o2 != o {
+				t.Fatalf("open re-roundtrip: %+v vs %+v (%v)", o2, o, err)
+			}
+		case frEstimate:
+			sid, u, err := decodeEstimate(payload)
+			if err != nil {
+				return
+			}
+			p2, err := appendEstimate(nil, sid, u)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			sid2, u2, err := decodeEstimate(p2)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if sid2 != sid || !updateBitIdentical(u2, u) {
+				t.Fatal("estimate re-roundtrip changed the update")
+			}
+		case frOpenOK:
+			sid, batches, queued, err := decodeOpenOK(payload)
+			if err != nil {
+				return
+			}
+			sid2, b2, q2, err := decodeOpenOK(appendOpenOK(nil, sid, batches, queued))
+			if err != nil || sid2 != sid || b2 != batches || q2 != queued {
+				t.Fatal("openok re-roundtrip mismatch")
+			}
+		case frOpenErr:
+			code, msg, err := decodeStatus(payload)
+			if err != nil {
+				return
+			}
+			c2, m2, err := decodeStatus(appendStatus(nil, code, msg))
+			if err != nil || c2 != code || m2 != msg {
+				t.Fatal("status re-roundtrip mismatch")
+			}
+		case frDone:
+			sid, code, msg, err := decodeDone(payload)
+			if err != nil {
+				return
+			}
+			s2, c2, m2, err := decodeDone(appendDone(nil, sid, code, msg))
+			if err != nil || s2 != sid || c2 != code || m2 != msg {
+				t.Fatal("done re-roundtrip mismatch")
+			}
+		case frCancel, frClose:
+			sid, err := decodeSID(payload)
+			if err != nil {
+				return
+			}
+			if s2, err := decodeSID(appendSID(nil, sid)); err != nil || s2 != sid {
+				t.Fatal("sid re-roundtrip mismatch")
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"iolap/internal/agg"
+	"iolap/internal/bootstrap"
 	"iolap/internal/expr"
 	"iolap/internal/plan"
 	"iolap/internal/rel"
@@ -80,6 +81,56 @@ func (pp *PostProcess) Apply(r *rel.Relation) *rel.Relation {
 		r.Tuples = r.Tuples[:pp.Limit]
 	}
 	return r
+}
+
+// ApplyWithEstimates is Apply for an incremental result whose rows carry
+// aligned bootstrap error estimates: the estimate rows are sorted and
+// truncated alongside the tuples, so estimate [i][j] keeps describing row i
+// after ORDER BY / LIMIT. The inputs are not modified; a nil or no-op
+// post-process returns them unchanged.
+func (pp *PostProcess) ApplyWithEstimates(r *rel.Relation, ests [][]bootstrap.Estimate) (*rel.Relation, [][]bootstrap.Estimate) {
+	if pp == nil || (len(pp.Keys) == 0 && pp.Limit < 0) {
+		return r, ests
+	}
+	type pair struct {
+		t rel.Tuple
+		e []bootstrap.Estimate
+	}
+	pairs := make([]pair, r.Len())
+	for i, t := range r.Tuples {
+		var e []bootstrap.Estimate
+		if i < len(ests) {
+			e = ests[i]
+		}
+		pairs[i] = pair{t: t, e: e}
+	}
+	if len(pp.Keys) > 0 {
+		sort.SliceStable(pairs, func(i, j int) bool {
+			a, b := pairs[i], pairs[j]
+			for _, k := range pp.Keys {
+				c := a.t.Vals[k.Col].Compare(b.t.Vals[k.Col])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	limit := len(pairs)
+	if pp.Limit >= 0 && pp.Limit < limit {
+		limit = pp.Limit
+	}
+	out := rel.NewRelation(r.Schema)
+	var outE [][]bootstrap.Estimate
+	for _, p := range pairs[:limit] {
+		out.Tuples = append(out.Tuples, p.t)
+		outE = append(outE, p.e)
+	}
+	return out, outE
 }
 
 // Planner lowers parsed statements onto logical plans.

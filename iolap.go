@@ -778,11 +778,7 @@ func convertUpdate(u *core.Update, pp *sql.PostProcess) *Update {
 	}
 	// ORDER BY / LIMIT apply per delivered result; estimate alignment is
 	// preserved by sorting indexes alongside.
-	result := u.Result
-	ests := u.Estimates
-	if pp != nil && (len(pp.Keys) > 0 || pp.Limit >= 0) {
-		result, ests = applyPostWithEstimates(result, ests, pp)
-	}
+	result, ests := pp.ApplyWithEstimates(u.Result, u.Estimates)
 	fillUpdate(out, result, ests)
 	return out
 }
@@ -806,46 +802,4 @@ func fillUpdate(u *Update, result *rel.Relation, ests [][]bootstrap.Estimate) {
 		}
 		u.Estimates[i] = es
 	}
-}
-
-func applyPostWithEstimates(r *rel.Relation, ests [][]bootstrap.Estimate, pp *sql.PostProcess) (*rel.Relation, [][]bootstrap.Estimate) {
-	type pair struct {
-		t rel.Tuple
-		e []bootstrap.Estimate
-	}
-	pairs := make([]pair, r.Len())
-	for i, t := range r.Tuples {
-		var e []bootstrap.Estimate
-		if i < len(ests) {
-			e = ests[i]
-		}
-		pairs[i] = pair{t: t, e: e}
-	}
-	if len(pp.Keys) > 0 {
-		less := func(a, b pair) bool {
-			for _, k := range pp.Keys {
-				c := a.t.Vals[k.Col].Compare(b.t.Vals[k.Col])
-				if c == 0 {
-					continue
-				}
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		}
-		sort.SliceStable(pairs, func(i, j int) bool { return less(pairs[i], pairs[j]) })
-	}
-	limit := len(pairs)
-	if pp.Limit >= 0 && pp.Limit < limit {
-		limit = pp.Limit
-	}
-	out := rel.NewRelation(r.Schema)
-	var outE [][]bootstrap.Estimate
-	for _, p := range pairs[:limit] {
-		out.Tuples = append(out.Tuples, p.t)
-		outE = append(outE, p.e)
-	}
-	return out, outE
 }
