@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check-race fuzz-seeds fuzz alloc-test bench bench-skew bench-dist bench-agg bench-serve profile check
+.PHONY: build test vet lint race check-race fuzz-seeds fuzz alloc-test bench bench-skew bench-dist bench-agg bench-serve profile check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when the host has it (the tool
+# is not vendored — lint degrades gracefully rather than failing the build
+# on machines without it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only" ; \
+	fi
 
 # The equivalence suites force every partition-parallel path; -race proves
 # the shard-ownership claims of DESIGN.md §7 hold under the race detector —
@@ -83,4 +93,4 @@ profile:
 	mkdir -p profiles
 	$(GO) run ./cmd/iolap $(PROFILE_ARGS) -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
 
-check: build vet test fuzz-seeds alloc-test race
+check: build lint test fuzz-seeds alloc-test race

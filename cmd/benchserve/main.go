@@ -16,6 +16,15 @@
 //     the same query on a fresh engine, bit for bit (math.Float64bits) —
 //     sharing the scan must never perturb results.
 //
+// It then runs the shared-state overlap scenario: 1–8 sessions whose plans
+// overlap 0–100% (sessions in the overlapping fraction join the same static
+// dimension, so they share one frozen build store), once with the
+// shared-state cache and once with -serve-no-share semantics. Reported per
+// cell: peak state bytes (private per-session state plus the cache's
+// high-water shared footprint) for both modes, the reduction
+// factor, median TTFE for both modes, cache hits, and the bit-identity
+// verdict against solo oracles.
+//
 //	benchserve -o BENCH_serve.json
 //	benchserve -rows 6000 -sessions 16 -batches 10 -reps 3
 package main
@@ -24,12 +33,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"iolap/internal/exec"
+	"iolap/internal/rel"
 	"iolap/internal/serve"
 	"iolap/internal/workload"
 )
@@ -48,13 +61,28 @@ type levelResult struct {
 }
 
 type report struct {
-	ConvivaRows int           `json:"conviva_rows"`
-	Batches     int           `json:"batches"`
-	Trials      int           `json:"trials"`
-	Reps        int           `json:"reps"`
-	Cores       int           `json:"cores"`
-	Queries     []string      `json:"queries"`
-	Levels      []levelResult `json:"levels"`
+	ConvivaRows int             `json:"conviva_rows"`
+	Batches     int             `json:"batches"`
+	Trials      int             `json:"trials"`
+	Reps        int             `json:"reps"`
+	Cores       int             `json:"cores"`
+	Queries     []string        `json:"queries"`
+	Levels      []levelResult   `json:"levels"`
+	Overlap     []overlapResult `json:"overlap"`
+}
+
+// overlapResult is one cell of the shared-state scenario: k sessions at a
+// given plan-overlap fraction, measured with and without the cache.
+type overlapResult struct {
+	Sessions         int     `json:"sessions"`
+	OverlapPct       int     `json:"overlap_pct"`
+	PeakBytesShared  int64   `json:"peak_state_bytes_shared"`
+	PeakBytesPrivate int64   `json:"peak_state_bytes_private"`
+	ReductionX       float64 `json:"reduction_x"`
+	TTFESharedMs     float64 `json:"ttfe_shared_ms"`
+	TTFEPrivateMs    float64 `json:"ttfe_private_ms"`
+	SharedHits       int64   `json:"shared_hits"`
+	Identical        bool    `json:"identical"`
 }
 
 func main() {
@@ -89,6 +117,22 @@ func main() {
 		fmt.Printf("%2d sessions: ttfe %.2fms (p99 %.2fms)  refresh p50 %.2fms p99 %.2fms  wall %.2fms  identical=%v\n",
 			lr.Sessions, lr.TTFEMedianMs, lr.TTFEP99Ms, lr.RefreshP50Ms, lr.RefreshP99Ms,
 			lr.WallMs, lr.Identical)
+	}
+
+	for _, k := range []int{1, 2, 4, *maxConc} {
+		if k <= 0 {
+			continue
+		}
+		for _, pct := range []int{0, 50, 100} {
+			or, err := runOverlap(k, pct, *batches, *trials, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Overlap = append(rep.Overlap, *or)
+			fmt.Printf("overlap %3d%% x%d sessions: peak %7.1fKB shared vs %7.1fKB private (%.2fx)  ttfe %.2fms vs %.2fms  hits=%d identical=%v\n",
+				pct, k, float64(or.PeakBytesShared)/1024, float64(or.PeakBytesPrivate)/1024,
+				or.ReductionX, or.TTFESharedMs, or.TTFEPrivateMs, or.SharedHits, or.Identical)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -211,6 +255,185 @@ func msAt(ds []time.Duration, q float64) float64 {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(q * float64(len(sorted)-1))
 	return float64(sorted[idx].Nanoseconds()) / 1e6
+}
+
+// overlapDB builds the overlap fixture: a streamed fact table plus a wide
+// static dimension whose frozen join build store dominates session state —
+// the memory the cache is supposed to deduplicate.
+func overlapDB(factRows, dimRows int, seed int64) (*exec.DB, map[string]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	db := exec.NewDB()
+	fact := rel.NewRelation(rel.Schema{
+		{Name: "cdn_id", Type: rel.KInt},
+		{Name: "play_time", Type: rel.KFloat},
+		{Name: "buffer_time", Type: rel.KFloat},
+	})
+	for i := 0; i < factRows; i++ {
+		fact.Append(
+			rel.Int(int64(rng.Intn(dimRows))),
+			rel.Float(float64(300+rng.Intn(6000))/10),
+			rel.Float(float64(10+rng.Intn(500))/10),
+		)
+	}
+	db.Put("plays", fact)
+	dim := rel.NewRelation(rel.Schema{
+		{Name: "cdn_id", Type: rel.KInt},
+		{Name: "region", Type: rel.KString},
+		{Name: "descr", Type: rel.KString},
+	})
+	regions := []string{"us-east", "us-west", "europe", "apac"}
+	pad := "-metadata-padding-padding-padding"
+	for i := 0; i < dimRows; i++ {
+		dim.Append(
+			rel.Int(int64(i)),
+			rel.String(regions[i%len(regions)]),
+			rel.String("cdn-"+strconv.Itoa(i)+pad),
+		)
+	}
+	db.Put("cdns", dim)
+	return db, map[string]bool{"plays": true}
+}
+
+// overlapSlot returns slot i's query at the given overlap fraction: the
+// first round(k*pct/100) slots run join variants over the same build side
+// (different SQL text — the fingerprinter must unify them); the rest run
+// per-slot distinct aggregates with no overlap.
+func overlapSlot(i, k, pct int) string {
+	joinVariants := []string{
+		`SELECT c.region, SUM(p.play_time) AS spt FROM plays p, cdns c WHERE p.cdn_id = c.cdn_id GROUP BY c.region`,
+		`SELECT d.region, AVG(x.play_time) AS apt FROM plays x, cdns d WHERE x.cdn_id = d.cdn_id GROUP BY d.region`,
+		`SELECT c.region, COUNT(*) AS n FROM plays p, cdns c WHERE p.cdn_id = c.cdn_id AND p.buffer_time > 8 GROUP BY c.region`,
+	}
+	nShared := (k*pct + 50) / 100
+	if i < nShared {
+		return joinVariants[i%len(joinVariants)]
+	}
+	// Distinct filter constant per slot keeps these plans from colliding
+	// with each other or with the join family.
+	return `SELECT AVG(play_time) AS apt FROM plays WHERE buffer_time > ` + strconv.Itoa(i)
+}
+
+// overlapPass runs k sessions once and reports peak state bytes (summed
+// per-batch private state + the high-water cache footprint), median TTFE,
+// trajectories, and cache stats.
+func overlapPass(db *exec.DB, streamed map[string]bool, k, pct, batches, trials int, seed uint64, disable bool) (int64, time.Duration, [][]*serve.Update, serve.Stats, error) {
+	eng := serve.NewEngine(db, streamed, nil, nil, serve.Config{Batches: batches, DisableStateSharing: disable})
+	defer eng.Close()
+	trajectories := make([][]*serve.Update, k)
+	errs := make([]error, k)
+	ttfes := make([]time.Duration, k)
+	// Open every session before draining any, so the k sessions genuinely
+	// coexist — the scenario the cell claims to measure. (Sessions run as
+	// soon as they are opened; draining from goroutines opened one at a
+	// time lets early sessions finish and evict their shared entries before
+	// later ones open, which would measure sequential churn, not overlap.)
+	sessions := make([]*serve.Session, k)
+	opened := make([]time.Time, k)
+	for i := 0; i < k; i++ {
+		opened[i] = time.Now()
+		s, err := eng.Open(overlapSlot(i, k, pct), serve.SessionOptions{
+			Trials: trials, Seed: seed + uint64(i),
+		})
+		if err != nil {
+			return 0, 0, nil, serve.Stats{}, fmt.Errorf("slot %d: open: %w", i, err)
+		}
+		sessions[i] = s
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s := sessions[i]
+			first := true
+			for s.Next() {
+				if first {
+					ttfes[i] = time.Since(opened[i])
+					first = false
+				}
+				trajectories[i] = append(trajectories[i], s.Update())
+			}
+			errs[i] = s.Err()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return 0, 0, nil, serve.Stats{}, fmt.Errorf("slot %d: %w", i, err)
+		}
+	}
+	// Peak = max over batches of summed private state, plus the cache's
+	// high-water mark (held once regardless of holder count).
+	var peak int64
+	for b := 0; b < batches; b++ {
+		var sum int64
+		for i := 0; i < k; i++ {
+			if b < len(trajectories[i]) {
+				sum += int64(trajectories[i][b].StateBytes)
+			}
+		}
+		if sum > peak {
+			peak = sum
+		}
+	}
+	// SharedPeakBytes is monotonic, so reading it after the sessions finish
+	// is safe even though short-lived sessions evict their entries long
+	// before the consumer loop observes them.
+	peak += eng.SharedPeakBytes()
+	sort.Slice(ttfes, func(i, j int) bool { return ttfes[i] < ttfes[j] })
+	return peak, ttfes[len(ttfes)/2], trajectories, eng.Snapshot(), nil
+}
+
+func runOverlap(k, pct, batches, trials int, seed uint64) (*overlapResult, error) {
+	db, streamed := overlapDB(3000, 12000, int64(seed))
+
+	oracles := make([][]*serve.Update, k)
+	for i := range oracles {
+		eng := serve.NewEngine(db, streamed, nil, nil, serve.Config{Batches: batches, DisableStateSharing: true})
+		s, err := eng.Open(overlapSlot(i, k, pct), serve.SessionOptions{
+			Trials: trials, Seed: seed + uint64(i),
+		})
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("oracle %d: %w", i, err)
+		}
+		for s.Next() {
+			oracles[i] = append(oracles[i], s.Update())
+		}
+		err = s.Err()
+		eng.Close()
+		if err != nil {
+			return nil, fmt.Errorf("oracle %d: %w", i, err)
+		}
+	}
+
+	peakShared, ttfeShared, trajShared, stats, err := overlapPass(db, streamed, k, pct, batches, trials, seed, false)
+	if err != nil {
+		return nil, err
+	}
+	peakPrivate, ttfePrivate, trajPrivate, _, err := overlapPass(db, streamed, k, pct, batches, trials, seed, true)
+	if err != nil {
+		return nil, err
+	}
+
+	or := &overlapResult{
+		Sessions: k, OverlapPct: pct,
+		PeakBytesShared:  peakShared,
+		PeakBytesPrivate: peakPrivate,
+		TTFESharedMs:     float64(ttfeShared.Nanoseconds()) / 1e6,
+		TTFEPrivateMs:    float64(ttfePrivate.Nanoseconds()) / 1e6,
+		SharedHits:       stats.SharedStateHits,
+		Identical:        true,
+	}
+	if peakShared > 0 {
+		or.ReductionX = float64(peakPrivate) / float64(peakShared)
+	}
+	for i := 0; i < k; i++ {
+		if !serve.BitIdentical(trajShared[i], oracles[i]) || !serve.BitIdentical(trajPrivate[i], oracles[i]) {
+			or.Identical = false
+		}
+	}
+	return or, nil
 }
 
 func fatal(err error) {

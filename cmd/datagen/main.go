@@ -21,21 +21,23 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "tpch", "workload: tpch or conviva")
-		scale  = flag.Int("scale", 10000, "fact-table rows")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		out    = flag.String("out", ".", "output directory")
-		format = flag.String("format", "csv", "output format: csv or iol (block table)")
-		block  = flag.Int("block", 1024, "rows per block for -format iol")
+		name     = flag.String("workload", "tpch", "workload: tpch or conviva")
+		scale    = flag.Int("scale", 10000, "fact-table rows")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		out      = flag.String("out", ".", "output directory")
+		format   = flag.String("format", "csv", "output format: csv or iol (block table)")
+		block    = flag.Int("block", 1024, "rows per block for -format iol")
+		columnar = flag.Bool("columnar", false, "write .iol files in the v2 columnar block format")
+		compress = flag.Bool("compress", false, "flate-compress columnar blocks (implies -columnar)")
 	)
 	flag.Parse()
-	if err := run(*name, *scale, *seed, *out, *format, *block); err != nil {
+	if err := run(*name, *scale, *seed, *out, *format, *block, *columnar || *compress, *compress); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale int, seed int64, out, format string, blockRows int) error {
+func run(name string, scale int, seed int64, out, format string, blockRows int, columnar, compress bool) error {
 	var w *workload.Workload
 	switch name {
 	case "tpch":
@@ -62,7 +64,7 @@ func run(name string, scale int, seed int64, out, format string, blockRows int) 
 			err = writeCSV(path, w.Tables[t])
 		case "iol":
 			path = filepath.Join(out, t+".iol")
-			err = writeIOL(path, w.Tables[t], blockRows)
+			err = writeIOL(path, w.Tables[t], blockRows, columnar, compress)
 		default:
 			return fmt.Errorf("unknown format %q", format)
 		}
@@ -74,12 +76,15 @@ func run(name string, scale int, seed int64, out, format string, blockRows int) 
 	return nil
 }
 
-func writeIOL(path string, r *rel.Relation, blockRows int) error {
+func writeIOL(path string, r *rel.Relation, blockRows int, columnar, compress bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if columnar {
+		return storage.WriteColumnar(f, r, blockRows, compress)
+	}
 	return storage.Write(f, r, blockRows)
 }
 

@@ -26,6 +26,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"iolap"
 	"iolap/internal/dist"
@@ -57,6 +58,7 @@ func main() {
 		serveBudget  = flag.Int64("serve-tenant-budget", 0, "per-tenant state-budget cap in bytes for -serve admission (0 = unlimited)")
 		serveQueue   = flag.Bool("serve-queue", false, "queue sessions FIFO at the -serve budget boundary instead of rejecting them")
 		serveMax     = flag.Int("serve-max-sessions", 0, "cap on concurrently admitted -serve sessions (0 = unlimited)")
+		serveNoShare = flag.Bool("serve-no-share", false, "disable the cross-session shared-state cache (every -serve session builds private operator state)")
 		joinAddr     = flag.String("join", "", "dial a coordinator's -dist-elastic address and join its running query as a worker (exits when the query ends)")
 		distAddrs    = flag.String("dist", "", "comma-separated worker addresses (host:port,...): distribute execution across them (results identical to local)")
 		distPart     = flag.String("dist-partition", "", "comma-separated static build tables to hash-partition across workers instead of replicating (needs -dist; results identical)")
@@ -115,17 +117,31 @@ func main() {
 			os.Exit(1)
 		}
 		srv := session.NewServer(&iolap.ServeOptions{
-			Batches:           *batches,
-			TenantBudgetBytes: *serveBudget,
-			QueueOnBudget:     *serveQueue,
-			MaxSessions:       *serveMax,
+			Batches:             *batches,
+			TenantBudgetBytes:   *serveBudget,
+			QueueOnBudget:       *serveQueue,
+			MaxSessions:         *serveMax,
+			DisableStateSharing: *serveNoShare,
 		})
 		addr, err := srv.ListenAndServe(*serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iolap:", err)
 			os.Exit(1)
 		}
-		log.Printf("serving sessions on %s (%d batches per scan)", addr, *batches)
+		sharing := "on"
+		if *serveNoShare {
+			sharing = "off"
+		}
+		log.Printf("serving sessions on %s (%d batches per scan, state sharing %s)", addr, *batches, sharing)
+		go func() {
+			// Periodic operational stats, including shared-state savings.
+			for range time.Tick(30 * time.Second) {
+				st := srv.Stats()
+				log.Printf("sessions: opened=%d completed=%d cancelled=%d rejected=%d queued=%d shared-hits=%d shared-bytes-saved=%d shared-live-bytes=%d",
+					st.Opened, st.Completed, st.Cancelled, st.Rejected, st.Queued,
+					st.SharedStateHits, st.SharedStateBytesSaved, srv.SharedLiveBytes())
+			}
+		}()
 		select {} // serve until killed
 	}
 	if *joinAddr != "" {

@@ -512,3 +512,88 @@ func (v *Vector) SizeBytes() int {
 	}
 	return n
 }
+
+// Snapshots
+
+// VectorSnap is a compact point-in-time copy of a Vector's state for the
+// §5.1 snapshot/replay protocol. On the bank path it holds only the
+// contiguous SoA slab — no Vector header, no per-accumulator boxes — and
+// both SnapshotInto (slab reuse) and RestoreInto are allocation-free, which
+// the AllocsPerRun regression test pins.
+type VectorSnap struct {
+	fn     *Func
+	trials int
+	bank   []float64
+	main   Accumulator
+	reps   []Accumulator
+}
+
+// Snapshot captures the vector's current state into a fresh VectorSnap.
+func (v *Vector) Snapshot() *VectorSnap { return v.SnapshotInto(nil) }
+
+// SnapshotInto captures state into s, reusing its slab (bank path) or
+// replicate slice when the shape matches; s may be nil. Returns the snap.
+func (v *Vector) SnapshotInto(s *VectorSnap) *VectorSnap {
+	if s == nil {
+		s = &VectorSnap{}
+	}
+	s.fn, s.trials = v.Fn, v.trials
+	if v.bank != nil {
+		if len(s.bank) != len(v.bank) {
+			s.bank = make([]float64, len(v.bank))
+		}
+		copy(s.bank, v.bank)
+		s.main, s.reps = nil, nil
+		return s
+	}
+	s.bank = nil
+	s.main = v.main.Clone()
+	if len(s.reps) != len(v.reps) {
+		s.reps = make([]Accumulator, len(v.reps))
+	}
+	for i, r := range v.reps {
+		s.reps[i] = r.Clone()
+	}
+	return s
+}
+
+// RestoreInto copies the snapshot's state into v in place — a single slab
+// copy on the bank path. Returns false when v's function, trial count, or
+// representation doesn't match (caller should Materialize instead). The
+// snapshot stays valid: the same snap can restore any number of times.
+func (s *VectorSnap) RestoreInto(v *Vector) bool {
+	if v.Fn != s.fn || v.trials != s.trials {
+		return false
+	}
+	if s.bank != nil {
+		if len(v.bank) != len(s.bank) {
+			return false
+		}
+		copy(v.bank, s.bank)
+		return true
+	}
+	if v.bank != nil || v.main == nil {
+		return false
+	}
+	v.main = s.main.Clone()
+	for i := range v.reps {
+		v.reps[i] = s.reps[i].Clone()
+	}
+	return true
+}
+
+// Materialize builds a fresh Vector carrying the snapshot's state.
+func (s *VectorSnap) Materialize() *Vector {
+	v := &Vector{Fn: s.fn, trials: s.trials}
+	if s.bank != nil {
+		v.bank = make([]float64, len(s.bank))
+		copy(v.bank, s.bank)
+		return v
+	}
+	v.main = s.main.Clone()
+	v.reps = make([]Accumulator, len(s.reps))
+	for i, r := range s.reps {
+		v.reps[i] = r.Clone()
+	}
+	return v
+}

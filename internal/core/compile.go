@@ -5,6 +5,7 @@ import (
 
 	"iolap/internal/agg"
 	"iolap/internal/delta"
+	"iolap/internal/exec"
 	"iolap/internal/expr"
 	"iolap/internal/plan"
 	"iolap/internal/rel"
@@ -42,12 +43,23 @@ type compiled struct {
 	// partKeys maps each partitioned-shipping table (Options.PartitionTables)
 	// to its build-side join key columns, validated by partitionKeyColumns.
 	partKeys map[string][]int
+
+	// db is the database the plan compiles against; shared-state builds
+	// (shared.go) need it to replay static subtrees at compile time.
+	db *exec.DB
+	// Shared-state bookkeeping (Options.SharedState): releases to run on
+	// Close, the resources this plan references, and how much state cache
+	// hits avoided rebuilding.
+	releases       []func()
+	sharedRefs     []sharedSized
+	sharedHits     int
+	sharedHitBytes int64
 }
 
 // compile builds the online operator tree for a finalized plan. spill, when
 // non-nil, is the resident-state budget the persistent join stores register
-// with.
-func compile(root plan.Node, opts Options, spill *delta.SpillPolicy) (*compiled, error) {
+// with; db backs compile-time shared-state builds (Options.SharedState).
+func compile(root plan.Node, db *exec.DB, opts Options, spill *delta.SpillPolicy) (*compiled, error) {
 	if opts.Mode == ModeHDA && !opts.NoViewletRewrites {
 		// DBToaster-style higher-order delta: apply the Appendix-B
 		// viewlet-transformation rewrites before execution.
@@ -71,7 +83,7 @@ func compile(root plan.Node, opts Options, spill *delta.SpillPolicy) (*compiled,
 	}
 	scaleExp := plan.ScaleExp(norm, n)
 	grow := mayGrow(norm, n, an)
-	c := &compiled{analysis: an, norm: norm, spill: spill}
+	c := &compiled{analysis: an, norm: norm, spill: spill, db: db}
 	if len(opts.PartitionTables) > 0 {
 		if opts.Partitions <= 0 {
 			return nil, fmt.Errorf("core: PartitionTables set but Partitions is %d (must be > 0)", opts.Partitions)
@@ -90,6 +102,8 @@ func compile(root plan.Node, opts Options, spill *delta.SpillPolicy) (*compiled,
 	trackRanges := c.nested && opts.Mode != ModeHDA && opts.Trials > 0
 	child, err := c.build(norm, an, scaleExp, grow, opts, trackRanges)
 	if err != nil {
+		// Shared state acquired before the failure must not leak its refs.
+		c.releaseShared()
 		return nil, err
 	}
 	if rootExprs == nil {
@@ -513,10 +527,6 @@ func (c *compiled) build(n plan.Node, an *plan.Analysis, scaleExp []int, grow []
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.build(t.R, an, scaleExp, grow, opts, trackRanges)
-		if err != nil {
-			return nil, err
-		}
 		lInfo, rInfo := an.Info[t.L.ID()], an.Info[t.R.ID()]
 		cacheL := grow[t.R.ID()] || rInfo.TupleUncertain
 		cacheR := grow[t.L.ID()] || lInfo.TupleUncertain
@@ -527,6 +537,22 @@ func (c *compiled) build(n plan.Node, an *plan.Analysis, scaleExp []int, grow []
 			// recompute the join.
 			cacheL = cacheL || rInfo.Incomplete
 			cacheR = cacheR || lInfo.Incomplete
+		}
+		if store, ok, err := c.acquireSharedBuild(t, cacheL, cacheR, an, scaleExp, grow, opts); err != nil {
+			return nil, err
+		} else if ok {
+			// Frozen shared build side: the right subtree's rows live in
+			// the cache's store; a stub replaces its operators and the
+			// join probes the store read-only (shared.go).
+			stub := &opSharedBuild{node: t.R}
+			c.ops = append(c.ops, stub)
+			op := &opJoin{node: t, l: l, r: stub, lw: len(t.L.Schema()), rStore: store, sharedR: true}
+			c.ops = append(c.ops, op)
+			return op, nil
+		}
+		r, err := c.build(t.R, an, scaleExp, grow, opts, trackRanges)
+		if err != nil {
+			return nil, err
 		}
 		op := newOpJoin(t, l, r, cacheL, cacheR, c.spill)
 		if scan, ok := t.R.(*plan.Scan); ok && c.partKeys != nil {
@@ -559,6 +585,15 @@ func (c *compiled) build(n plan.Node, an *plan.Analysis, scaleExp []int, grow []
 		return op, nil
 
 	case *plan.Aggregate:
+		if op, ok, err := c.acquireSharedAgg(t, an, scaleExp, grow, opts, trackRanges); err != nil {
+			return nil, err
+		} else if ok {
+			// Shared inner aggregate: the whole subtree's state lives in a
+			// cached entry; the session keeps only a range cursor
+			// (shared.go).
+			c.ops = append(c.ops, op)
+			return op, nil
+		}
 		child, err := c.build(t.Child, an, scaleExp, grow, opts, trackRanges)
 		if err != nil {
 			return nil, err

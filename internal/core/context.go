@@ -172,6 +172,13 @@ type Options struct {
 	// solo engine given the same schedule produces a bit-identical
 	// trajectory — sharing changes memory layout, never results.
 	Deltas []*rel.Relation
+	// SharedState, when non-nil, lets compilation satisfy eligible operator
+	// state (frozen join build sides, inner aggregate subtrees) from an
+	// externally owned refcounted cache instead of building private copies
+	// (shared.go). Sharing requires a caller-supplied schedule (Deltas) for
+	// aggregate entries and is inert for solo engines. Results stay
+	// bit-identical to a private build; only memory ownership changes.
+	SharedState SharedStateCache
 }
 
 func (o Options) withDefaults() Options {

@@ -34,8 +34,14 @@ type Update struct {
 	// SELECT states after the batch.
 	NDSetRows int
 	// JoinStateBytes / OtherStateBytes split operator state memory as in
-	// Figure 9(b).
+	// Figure 9(b). Both count this session's PRIVATE state only.
 	JoinStateBytes, OtherStateBytes int
+	// SharedStateBytes is the footprint of externally owned shared state
+	// (Options.SharedState) this session references: frozen join build
+	// stores and shared aggregate entries. Every holding session reports
+	// the same figure, but the bytes exist once per cache entry — the
+	// serving layer dedupes them via its cache stats.
+	SharedStateBytes int
 	// ShuffleBytes is the repartition traffic this batch: bytes a hash
 	// shuffle would ship between workers.
 	ShuffleBytes int64
@@ -148,11 +154,14 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 	if err := e.initSpill(); err != nil {
 		return nil, err
 	}
-	comp, err := compile(root, opts, e.spill)
+	comp, err := compile(root, db, opts, e.spill)
 	if err != nil {
 		e.Close()
 		return nil, err
 	}
+	// comp is attached before the remaining validation so every error path's
+	// e.Close() releases any shared state the compilation acquired.
+	e.comp = comp
 	if len(comp.streamed) != 1 {
 		e.Close()
 		return nil, fmt.Errorf("core: exactly one streamed table required, plan has %d (%v)",
@@ -205,7 +214,6 @@ func NewEngine(root plan.Node, db *exec.DB, opts Options) (*Engine, error) {
 			deltas = ContiguousDeltas(src, opts.Batches)
 		}
 	}
-	e.comp = comp
 	e.streamedTable = table
 	e.deltas = deltas
 	e.totalRows = totalRows
@@ -247,6 +255,11 @@ func (e *Engine) initSpill() error {
 // memory, but any spilled rows are gone — call Close only when done
 // stepping. Safe to call on an engine that never spilled, and idempotent.
 func (e *Engine) Close() error {
+	if e.comp != nil {
+		// Drop this session's refs on shared state; the cache evicts an
+		// entry when its last holder releases.
+		e.comp.releaseShared()
+	}
 	err := e.spill.Close()
 	e.spill = nil
 	if e.spillDirOwned != "" {
@@ -495,7 +508,30 @@ func (e *Engine) Step() (u *Update, err error) {
 			u.OtherStateBytes += op.stateBytes()
 		}
 	}
+	for _, r := range e.comp.sharedRefs {
+		u.SharedStateBytes += int(r.SharedBytes())
+	}
 	return u, nil
+}
+
+// SharedHits reports how many shared-state cache hits this engine's
+// compilation got (state it referenced without building).
+func (e *Engine) SharedHits() int { return e.comp.sharedHits }
+
+// SharedHitBytes reports the bytes of shared state this engine referenced
+// via cache hits — state it did NOT have to build or privately hold. The
+// serving layer uses it to charge sessions only their incremental
+// reservation.
+func (e *Engine) SharedHitBytes() int64 { return e.comp.sharedHitBytes }
+
+// SharedStateBytes reports the current footprint of all shared state this
+// engine references (built or hit).
+func (e *Engine) SharedStateBytes() int64 {
+	var n int64
+	for _, r := range e.comp.sharedRefs {
+		n += r.SharedBytes()
+	}
+	return n
 }
 
 func (e *Engine) ndSetRows() int {

@@ -37,6 +37,12 @@ type opAgg struct {
 	node  *plan.Aggregate
 	child operator
 
+	// pubID is the id this aggregate publishes its table under and stamps
+	// into lineage refs. Normally the plan node's id; a shared aggregate
+	// entry (shared.go) overrides it with a session-independent id so
+	// equivalent subtrees in different sessions resolve the same refs.
+	pubID int
+
 	specs       []aggSpecC
 	hasLazy     bool
 	scaleExp    int
@@ -103,6 +109,7 @@ func newOpAgg(t *plan.Aggregate, child operator, an *plan.Analysis, scaleExp int
 	op := &opAgg{
 		node:        t,
 		child:       child,
+		pubID:       t.ID(),
 		scaleExp:    scaleExp,
 		trials:      opts.Trials,
 		slack:       opts.Slack,
@@ -591,7 +598,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 				o.trials > 0 && bc.prune && g.support >= o.minSupport {
 				ok, recoverTo := g.ranges[si].Observe(bc.batch, val, reps)
 				if !ok {
-					bc.failures = append(bc.failures, failure{op: o.node.ID(), recoverTo: recoverTo})
+					bc.failures = append(bc.failures, failure{op: o.pubID, recoverTo: recoverTo})
 				}
 				rng = g.ranges[si].Current()
 			} else if !sp.uncertainOut {
@@ -599,7 +606,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			}
 			pub.vals[si] = expr.UncValue{Value: rel.Float(val), Reps: reps, Range: rng}
 			if sp.uncertainOut && !hdaRecompute {
-				rowVals = append(rowVals, rel.NewRef(rel.Ref{Op: o.node.ID(), Key: key, Col: sp.outCol}))
+				rowVals = append(rowVals, rel.NewRef(rel.Ref{Op: o.pubID, Key: key, Col: sp.outCol}))
 			} else {
 				rowVals = append(rowVals, rel.Float(val))
 			}
@@ -623,7 +630,7 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 		}
 	}
 	o.record(out)
-	bc.publish(o.node.ID(), table)
+	bc.publish(o.pubID, table)
 	// The published table is broadcast to workers for lazy evaluation
 	// (Section 6.2's broadcast join) — replication traffic, not a
 	// repartition, so it books as broadcast bytes.
@@ -640,24 +647,38 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 	return out, nil
 }
 
+// aggGroupSnap is one group's state in compact snapshot form: vector
+// sketches are stored as bank slabs (agg.VectorSnap), not cloned Vectors —
+// the snapshot holds one contiguous copy per sketch and restore replays it
+// into the live group's banks in place.
+type aggGroupSnap struct {
+	key     []rel.Value
+	sketch  []*agg.VectorSnap
+	lazy    delta.RowSet
+	ranges  []*bootstrap.Range
+	support int
+	certain bool
+	emitted bool
+}
+
 type aggSnap struct {
-	groups map[string]*aggGroup
+	groups map[string]*aggGroupSnap
 	order  []string
 }
 
 func (o *opAgg) snapshot() interface{} {
-	s := aggSnap{groups: make(map[string]*aggGroup, len(o.groups)), order: append([]string(nil), o.order...)}
+	s := aggSnap{groups: make(map[string]*aggGroupSnap, len(o.groups)), order: append([]string(nil), o.order...)}
 	for k, g := range o.groups {
-		ng := &aggGroup{
+		ng := &aggGroupSnap{
 			key:     append([]rel.Value(nil), g.key...),
-			sketch:  make([]*agg.Vector, len(g.sketch)),
+			sketch:  make([]*agg.VectorSnap, len(g.sketch)),
 			ranges:  make([]*bootstrap.Range, len(g.ranges)),
 			support: g.support,
 			certain: g.certain,
 			emitted: g.emitted,
 		}
 		for i, v := range g.sketch {
-			ng.sketch[i] = v.Clone()
+			ng.sketch[i] = v.Snapshot()
 		}
 		for i, r := range g.ranges {
 			if r != nil {
@@ -672,26 +693,37 @@ func (o *opAgg) snapshot() interface{} {
 
 func (o *opAgg) restore(snap interface{}) {
 	s := snap.(aggSnap)
-	// The scratch pool is keyed by group pointer; restoring rebuilds every
-	// group, so drop the pool rather than strand entries on dead pointers.
+	// The scratch pool is keyed by group pointer; a restore can drop or
+	// rebuild groups, so drop the pool rather than strand entries on dead
+	// pointers.
 	o.scratchPool = nil
+	old := o.groups
 	o.groups = make(map[string]*aggGroup, len(s.groups))
 	o.order = append([]string(nil), s.order...)
 	for k, g := range s.groups {
-		ng := &aggGroup{
-			key:     append([]rel.Value(nil), g.key...),
-			sketch:  make([]*agg.Vector, len(g.sketch)),
-			ranges:  make([]*bootstrap.Range, len(g.ranges)),
-			support: g.support,
-			certain: g.certain,
-			emitted: g.emitted,
+		// Reuse the live group where one survives: the sketch banks are
+		// restored in place by a slab copy instead of reallocating. The
+		// snapshot stays untouched either way — the same snap may be
+		// replayed again by a later recovery attempt.
+		ng := old[k]
+		if ng == nil || len(ng.sketch) != len(g.sketch) {
+			ng = &aggGroup{sketch: make([]*agg.Vector, len(g.sketch))}
 		}
-		for i, v := range g.sketch {
-			ng.sketch[i] = v.Clone()
+		ng.key = append(ng.key[:0], g.key...)
+		ng.support, ng.certain, ng.emitted = g.support, g.certain, g.emitted
+		for i, vs := range g.sketch {
+			if ng.sketch[i] == nil || !vs.RestoreInto(ng.sketch[i]) {
+				ng.sketch[i] = vs.Materialize()
+			}
+		}
+		if len(ng.ranges) != len(g.ranges) {
+			ng.ranges = make([]*bootstrap.Range, len(g.ranges))
 		}
 		for i, r := range g.ranges {
 			if r != nil {
 				ng.ranges[i] = r.Snapshot()
+			} else {
+				ng.ranges[i] = nil
 			}
 		}
 		ng.lazy.Restore(&g.lazy)

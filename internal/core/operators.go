@@ -168,8 +168,8 @@ func (o *opScan) restore(snap interface{}) {
 	s := snap.(scanSnap)
 	o.next, o.done, o.justEmitted = s.next, s.done, s.justEmitted
 }
-func (o *opScan) stateBytes() int          { return 0 }
-func (o *opScan) kind() string             { return "scan" }
+func (o *opScan) stateBytes() int { return 0 }
+func (o *opScan) kind() string    { return "scan" }
 
 // ---------------------------------------------------------------------------
 // Select
@@ -466,6 +466,13 @@ type opJoin struct {
 	// justEmitted flag replaces the replica-divergent len(ro.news) guard.
 	partBuckets int
 	partScan    *opScan
+	// sharedR marks rStore as a frozen store owned by the shared-state
+	// cache (shared.go): the build subtree ran once at acquire time, so the
+	// store is complete and immutable. The join never writes it, excludes
+	// it from this session's state accounting, and skips it in
+	// snapshot/restore — restoring an immutable value is the identity, so
+	// §5.1 replay touches it once (at probe time), not per session.
+	sharedR bool
 }
 
 // newOpJoin builds the join operator. The persistent side stores — the ones
@@ -490,7 +497,7 @@ func (o *opJoin) spilledRows() int {
 	if o.lStore != nil {
 		n += o.lStore.SpilledRows()
 	}
-	if o.rStore != nil {
+	if o.rStore != nil && !o.sharedR {
 		n += o.rStore.SpilledRows()
 	}
 	return n
@@ -503,7 +510,7 @@ func (o *opJoin) residentBytes() int {
 	if o.lStore != nil {
 		n += o.lStore.MemBytes()
 	}
-	if o.rStore != nil {
+	if o.rStore != nil && !o.sharedR {
 		n += o.rStore.MemBytes()
 	}
 	return n
@@ -719,7 +726,7 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 	if o.lStore != nil {
 		o.lStore.AddBatch(lo.news, true, bc.par(cluster.CostJoinBuild, len(lo.news)))
 	}
-	if o.rStore != nil {
+	if o.rStore != nil && !o.sharedR {
 		o.rStore.AddBatch(ro.news, true, bc.par(cluster.CostJoinBuild, len(ro.news)))
 	}
 	// Tuple-uncertain combinations, recomputed every batch:
@@ -758,7 +765,7 @@ func (o *opJoin) snapshot() interface{} {
 	if o.lStore != nil {
 		s.l = o.lStore.Snapshot()
 	}
-	if o.rStore != nil {
+	if o.rStore != nil && !o.sharedR {
 		s.r = o.rStore.Snapshot()
 	}
 	return s
@@ -769,7 +776,7 @@ func (o *opJoin) restore(snap interface{}) {
 	if o.lStore != nil {
 		o.lStore.Restore(s.l)
 	}
-	if o.rStore != nil {
+	if o.rStore != nil && !o.sharedR {
 		o.rStore.Restore(s.r)
 	}
 }
@@ -779,7 +786,7 @@ func (o *opJoin) stateBytes() int {
 	if o.lStore != nil {
 		n += o.lStore.SizeBytes()
 	}
-	if o.rStore != nil {
+	if o.rStore != nil && !o.sharedR {
 		n += o.rStore.SizeBytes()
 	}
 	return n

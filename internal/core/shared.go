@@ -1,0 +1,509 @@
+package core
+
+// Cross-session shared operator state (DESIGN.md §13).
+//
+// A serving engine's sessions all ride one mini-batch schedule, so any
+// operator state that is a deterministic function of (plan subtree,
+// schedule, execution parameters) is byte-identical across sessions whose
+// plans contain equivalent subtrees. Options.SharedState is the seam: when
+// set, compilation fingerprints eligible subtrees (internal/share) and
+// acquires their state from the cache instead of building a private copy.
+//
+// Two shapes are shared:
+//
+//   - Join build sides over static, certain subtrees ("frozen stores"):
+//     the build-side delta pipeline runs exactly once — at batch 1 it emits
+//     every row and is silent forever after — so its HashStore is frozen
+//     the moment it is built. The cache builds it once by stepping a
+//     throwaway copy of the subtree's operators; every session's opJoin
+//     probes the same store and never writes it, which is what makes
+//     post-barrier reads lock-free. Snapshot/restore skip a frozen store
+//     (restoring an immutable value is the identity), so §5.1 replay
+//     "replays once, not per session" trivially.
+//
+//   - Inner (non-root) aggregate subtrees: a sharedAggEntry owns one copy
+//     of the subtree's operators and steps them once per requested batch
+//     range, memoizing each step's emissions and published table. The
+//     first session to reach a batch is the designated owner that performs
+//     the write; cohort peers arriving at the same (state, batch) get the
+//     memoized result without touching operator state. Because §5.1
+//     recovery replays merged batch ranges — and a replayed range leaves
+//     different range-tracking state than stepping its batches one by one
+//     — entry states are keyed by the *path* of ranges stepped, not the
+//     batch label alone: sessions whose recovery histories diverge fork to
+//     private paths and stay bit-identical to their solo oracles.
+//
+// Ownership is refcounted: every acquisition registers a release on the
+// session's compiled plan, Engine.Close releases them (idempotently), and
+// the cache evicts an entry when its last holder releases.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"iolap/internal/cluster"
+	"iolap/internal/delta"
+	"iolap/internal/plan"
+	"iolap/internal/rel"
+	"iolap/internal/share"
+)
+
+// SharedStateCache is the state-provider seam between an engine and an
+// external shared-state owner (the serving layer's share.Cache). Acquire
+// either returns the live value for key or builds it exactly once; the
+// returned release must be called when the holder is done (Engine.Close
+// does this for every state acquired during compilation).
+type SharedStateCache interface {
+	Acquire(key string, build func() (any, error)) (val any, release func(), hit bool, err error)
+}
+
+// sharedSized reports the resident footprint of one shared resource; it
+// mirrors share.Sized so cache hits can be credited in bytes.
+type sharedSized interface {
+	SharedBytes() int64
+}
+
+// releaseShared releases every shared-state acquisition of this plan.
+// Idempotent: the underlying releases are once-guarded and the slice is
+// cleared.
+func (c *compiled) releaseShared() {
+	for _, r := range c.releases {
+		r()
+	}
+	c.releases = nil
+}
+
+// ---------------------------------------------------------------------------
+// Frozen join build sides
+
+// sharedStore is the cache value for a frozen join build side.
+type sharedStore struct {
+	store *delta.HashStore
+}
+
+func (s *sharedStore) SharedBytes() int64 { return int64(s.store.SizeBytes()) }
+
+// opSharedBuild stands in for a join's build subtree whose output lives in
+// a shared frozen store: it emits nothing (the store already holds every
+// row) and carries no state.
+type opSharedBuild struct {
+	emitCounts
+	node plan.Node
+}
+
+func (o *opSharedBuild) step(*batchContext) (output, error) { return output{}, nil }
+func (o *opSharedBuild) snapshot() interface{}              { return nil }
+func (o *opSharedBuild) restore(interface{})                {}
+func (o *opSharedBuild) stateBytes() int                    { return 0 }
+func (o *opSharedBuild) kind() string                       { return "shared-build" }
+
+// staticCertainSubtree reports whether every scan under n is static and the
+// shape contains only nodes whose single-step output is deterministic and
+// certain (no aggregates: their outputs can be uncertain and batch-coupled).
+func staticCertainSubtree(n plan.Node) bool {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return !t.Streamed
+	case *plan.Select:
+		return staticCertainSubtree(t.Child)
+	case *plan.Project:
+		return staticCertainSubtree(t.Child)
+	case *plan.Join:
+		return staticCertainSubtree(t.L) && staticCertainSubtree(t.R)
+	case *plan.Union:
+		return staticCertainSubtree(t.L) && staticCertainSubtree(t.R)
+	}
+	return false
+}
+
+// acquireSharedBuild tries to satisfy a join's build-side store from the
+// shared cache. It returns (nil, false, nil) when the join is not eligible;
+// eligibility is conservative — sharing must never change results:
+//
+//   - the right (build) side is a static, certain subtree, so the store's
+//     content is schedule- and seed-independent and frozen after batch 1;
+//   - only the right side caches (cacheR && !cacheL): a static certain
+//     build side never forces a cached left, and the frozen-store argument
+//     covers exactly this orientation;
+//   - keyed joins only, local execution only (no dist exchange, no
+//     partitioned shipping).
+func (c *compiled) acquireSharedBuild(t *plan.Join, cacheL, cacheR bool, an *plan.Analysis, scaleExp []int, grow []bool, opts Options) (*delta.HashStore, bool, error) {
+	if opts.SharedState == nil || opts.Exchange != nil || len(c.partKeys) > 0 {
+		return nil, false, nil
+	}
+	if !cacheR || cacheL || len(t.RKeys) == 0 || !staticCertainSubtree(t.R) {
+		return nil, false, nil
+	}
+	key := fmt.Sprintf("join|rk=%v|%s", t.RKeys, share.Fingerprint(t.R))
+	v, release, hit, err := opts.SharedState.Acquire(key, func() (any, error) {
+		st, err := c.buildFrozenStore(t.R, t.RKeys, an, scaleExp, grow, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &sharedStore{store: st}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	ss := v.(*sharedStore)
+	c.releases = append(c.releases, release)
+	c.sharedRefs = append(c.sharedRefs, ss)
+	if hit {
+		c.sharedHits++
+		c.sharedHitBytes += ss.SharedBytes()
+	}
+	return ss.store, true, nil
+}
+
+// buildFrozenStore builds the build-side subtree's operators privately,
+// drives the single step that consumes the static tables, and freezes the
+// emitted rows into a HashStore keyed like the join expects. The store's
+// per-key insertion order is the subtree's emission (scan) order — the same
+// order the solo engine's transient per-batch store sees, which is what
+// makes probes against the frozen store byte-identical to a solo run.
+func (c *compiled) buildFrozenStore(sub plan.Node, rkeys []int, an *plan.Analysis, scaleExp []int, grow []bool, opts Options) (*delta.HashStore, error) {
+	b := &compiled{analysis: an, norm: c.norm, db: c.db}
+	o2 := opts
+	o2.SharedState = nil
+	o2.Exchange = nil
+	o2.PartitionTables = nil
+	root, err := b.build(sub, an, scaleExp, grow, o2, false)
+	if err != nil {
+		return nil, err
+	}
+	bc := &batchContext{
+		batch:  1,
+		scale:  1,
+		delta:  map[string]*rel.Relation{},
+		dims:   c.db,
+		tables: make(map[int]*aggTable),
+		lazy:   o2.Mode == ModeIOLAP,
+		prune:  o2.Mode != ModeHDA,
+		hdaAgg: o2.Mode == ModeHDA,
+		cost:   cluster.NewCostModel(0),
+	}
+	out, err := root.step(bc)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.unc) != 0 {
+		return nil, fmt.Errorf("core: shared build side emitted %d uncertain rows (subtree is not certain)", len(out.unc))
+	}
+	store := delta.NewHashStore(rkeys)
+	store.AddBatch(out.news, true, nil)
+	return store, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared inner aggregates
+
+// sharedAggIDs hands out operator ids for shared aggregate entries. They
+// start far above any per-plan node id so a shared entry's published table
+// and lineage refs can never collide with a session's private operators.
+var sharedAggIDs atomic.Int64
+
+const sharedAggIDBase = 1 << 20
+
+func nextSharedAggID() int {
+	return sharedAggIDBase + int(sharedAggIDs.Add(1))
+}
+
+// sharedStepResult is one memoized step of a shared aggregate subtree. All
+// fields are immutable once memoized: op_agg allocates a fresh published
+// table and fresh rows every step, so handing the same result to many
+// sessions is safe.
+type sharedStepResult struct {
+	news, unc  []delta.Row
+	table      *aggTable
+	failures   []failure
+	recomputed int
+}
+
+// sharedAggEntry owns one copy of an inner-aggregate subtree's operators
+// and serves step results to every session whose plan contains an
+// equivalent subtree. State evolution is keyed by path — the ":"-joined
+// sequence of batch labels stepped so far — because a §5.1 merged replay
+// leaves different range-tracking state than stepping the same batches one
+// at a time; sessions with diverging recovery histories therefore fork to
+// their own paths instead of silently sharing mismatched state.
+type sharedAggEntry struct {
+	id        int
+	table     string // streamed table name
+	deltas    []*rel.Relation
+	totalRows int
+	db        dbView
+	opts      Options
+
+	mu     sync.Mutex
+	ops    []operator
+	root   operator
+	cur    string                       // path of the live operator state
+	states map[string][]interface{}     // per-op snapshots by path
+	memo   map[string]*sharedStepResult // step results by path+":"+to
+	cost   *cluster.CostModel
+	bytes  int64 // high-water resident footprint of ops (lock-free reads)
+}
+
+func pathKey(path string, to int) string {
+	return path + ":" + strconv.Itoa(to)
+}
+
+// SharedBytes reports the entry's operator-state high-water footprint.
+func (en *sharedAggEntry) SharedBytes() int64 {
+	return atomic.LoadInt64(&en.bytes)
+}
+
+func (en *sharedAggEntry) updateBytesLocked() {
+	n := 0
+	for _, op := range en.ops {
+		n += op.stateBytes()
+	}
+	if int64(n) > atomic.LoadInt64(&en.bytes) {
+		atomic.StoreInt64(&en.bytes, int64(n))
+	}
+}
+
+// stepRange advances the shared subtree from the state reached via path
+// (which has consumed batches (0, from]) to batch to, consuming the merged
+// delta (from, to] — exactly what a solo engine's subtree would do on that
+// step, including a recovery replay. The first caller for a given
+// (path, to) performs the write; later callers get the memoized result.
+func (en *sharedAggEntry) stepRange(path string, from, to int) (*sharedStepResult, error) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	key := pathKey(path, to)
+	if r, ok := en.memo[key]; ok {
+		return r, nil
+	}
+	if en.cur != path {
+		snap, ok := en.states[path]
+		if !ok {
+			return nil, fmt.Errorf("core: shared aggregate #%d: no state for path %q", en.id, path)
+		}
+		for i, op := range en.ops {
+			op.restore(snap[i])
+		}
+		en.cur = path
+	}
+	merged := rel.NewRelation(en.deltas[0].Schema)
+	seen := 0
+	for b := 1; b <= to; b++ {
+		n := en.deltas[b-1].Len()
+		seen += n
+		if b > from {
+			merged.Tuples = append(merged.Tuples, en.deltas[b-1].Tuples...)
+		}
+	}
+	scale := 1.0
+	if seen > 0 {
+		scale = float64(en.totalRows) / float64(seen)
+	}
+	bc := &batchContext{
+		batch:  to,
+		scale:  scale,
+		scaleN: seen,
+		exact:  seen >= en.totalRows,
+		trials: en.opts.Trials,
+		delta:  map[string]*rel.Relation{en.table: merged},
+		dims:   en.db,
+		tables: make(map[int]*aggTable),
+		lazy:   en.opts.Mode == ModeIOLAP,
+		prune:  en.opts.Mode != ModeHDA,
+		hdaAgg: en.opts.Mode == ModeHDA,
+		cost:   en.cost,
+	}
+	out, err := en.root.step(bc)
+	if err != nil {
+		return nil, err
+	}
+	res := &sharedStepResult{
+		news:       out.news,
+		unc:        out.unc,
+		table:      bc.tables[en.id],
+		failures:   bc.failures,
+		recomputed: bc.recomputed,
+	}
+	en.cur = key
+	if _, ok := en.states[key]; !ok {
+		snap := make([]interface{}, len(en.ops))
+		for i, op := range en.ops {
+			snap[i] = op.snapshot()
+		}
+		en.states[key] = snap
+	}
+	en.memo[key] = res
+	en.updateBytesLocked()
+	return res, nil
+}
+
+// opSharedAgg is a session's view of a shared aggregate subtree: a
+// stateless proxy that requests batch ranges from the entry and republishes
+// the memoized table into the session's batch context. Its only state is
+// the (seen, path) cursor, so session snapshot/restore — and through it
+// §5.1 replay — costs nothing and never touches the shared operators.
+type opSharedAgg struct {
+	emitCounts
+	node  *plan.Aggregate
+	entry *sharedAggEntry
+	seen  int
+	path  string
+}
+
+type sharedAggSnap struct {
+	seen int
+	path string
+}
+
+func (o *opSharedAgg) step(bc *batchContext) (output, error) {
+	res, err := o.entry.stepRange(o.path, o.seen, bc.batch)
+	if err != nil {
+		return output{}, err
+	}
+	o.path = pathKey(o.path, bc.batch)
+	o.seen = bc.batch
+	bc.publish(o.entry.id, res.table)
+	bc.recomputed += res.recomputed
+	bc.failures = append(bc.failures, res.failures...)
+	out := output{news: res.news, unc: res.unc}
+	o.record(out)
+	return out, nil
+}
+
+func (o *opSharedAgg) snapshot() interface{} {
+	return sharedAggSnap{seen: o.seen, path: o.path}
+}
+
+func (o *opSharedAgg) restore(snap interface{}) {
+	s := snap.(sharedAggSnap)
+	o.seen, o.path = s.seen, s.path
+}
+
+func (o *opSharedAgg) stateBytes() int { return 0 }
+func (o *opSharedAgg) kind() string    { return "agg-shared" }
+
+// hasAggregateBelow reports whether the subtree under n (exclusive of n)
+// contains an Aggregate node.
+func hasAggregateBelow(n plan.Node) bool {
+	var walk func(plan.Node) bool
+	walk = func(m plan.Node) bool {
+		switch t := m.(type) {
+		case *plan.Scan:
+			return false
+		case *plan.Select:
+			return walk(t.Child)
+		case *plan.Project:
+			return walk(t.Child)
+		case *plan.Join:
+			return walk(t.L) || walk(t.R)
+		case *plan.Union:
+			return walk(t.L) || walk(t.R)
+		case *plan.Aggregate:
+			return true
+		}
+		return true // unknown node: assume the worst
+	}
+	switch t := n.(type) {
+	case *plan.Aggregate:
+		return walk(t.Child)
+	}
+	return walk(n)
+}
+
+// acquireSharedAgg tries to satisfy an inner aggregate subtree from the
+// shared cache. Eligibility is conservative:
+//
+//   - never the plan root (root aggregates ARE the session's query; sharing
+//     them would only dedupe byte-identical queries while perturbing the
+//     budget arithmetic callers rely on — inner subquery aggregates are
+//     where the overlap win lives);
+//   - ModeIOLAP, local execution, caller-supplied schedule (the serving
+//     engine), exactly one streamed scan and no nested aggregate below;
+//   - the cache key carries every parameter that shapes the state: the
+//     canonical subtree fingerprint, seed/trials/slack/min-support, range
+//     tracking, and the schedule identity (table, batch count, total rows).
+func (c *compiled) acquireSharedAgg(t *plan.Aggregate, an *plan.Analysis, scaleExp []int, grow []bool, opts Options, trackRanges bool) (operator, bool, error) {
+	if opts.SharedState == nil || opts.Exchange != nil || len(c.partKeys) > 0 {
+		return nil, false, nil
+	}
+	if t == c.norm || opts.Mode != ModeIOLAP || len(opts.Deltas) == 0 {
+		return nil, false, nil
+	}
+	if hasAggregateBelow(t) {
+		return nil, false, nil
+	}
+	streamed := map[string]bool{}
+	for _, sc := range plan.StreamedScans(t) {
+		streamed[sc.Table] = true
+	}
+	if len(streamed) != 1 {
+		return nil, false, nil
+	}
+	var table string
+	for name := range streamed {
+		table = name
+	}
+	totalRows := 0
+	for _, d := range opts.Deltas {
+		totalRows += d.Len()
+	}
+	key := fmt.Sprintf("agg|mode=%d|trials=%d|seed=%d|slack=%g|minsup=%d|ranges=%v|table=%s|p=%d|n=%d|%s",
+		opts.Mode, opts.Trials, opts.Seed, opts.Slack, opts.MinRangeSupport, trackRanges,
+		table, len(opts.Deltas), totalRows, share.Fingerprint(t))
+	v, release, hit, err := opts.SharedState.Acquire(key, func() (any, error) {
+		return c.buildSharedAggEntry(t, table, totalRows, an, scaleExp, grow, opts, trackRanges)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	en := v.(*sharedAggEntry)
+	c.releases = append(c.releases, release)
+	c.sharedRefs = append(c.sharedRefs, en)
+	if hit {
+		c.sharedHits++
+		c.sharedHitBytes += en.SharedBytes()
+	}
+	op := &opSharedAgg{node: t, entry: en}
+	return op, true, nil
+}
+
+// buildSharedAggEntry builds the entry's private copy of the subtree
+// operators and takes the initial (empty-state) snapshot. The subtree's
+// root aggregate publishes under the entry's id so lineage refs resolve the
+// same way in every holding session.
+func (c *compiled) buildSharedAggEntry(t *plan.Aggregate, table string, totalRows int, an *plan.Analysis, scaleExp []int, grow []bool, opts Options, trackRanges bool) (*sharedAggEntry, error) {
+	b := &compiled{analysis: an, norm: c.norm, db: c.db}
+	o2 := opts
+	o2.SharedState = nil
+	o2.Exchange = nil
+	o2.PartitionTables = nil
+	root, err := b.build(t, an, scaleExp, grow, o2, trackRanges)
+	if err != nil {
+		return nil, err
+	}
+	en := &sharedAggEntry{
+		id:        nextSharedAggID(),
+		table:     table,
+		deltas:    opts.Deltas,
+		totalRows: totalRows,
+		db:        c.db,
+		opts:      o2,
+		ops:       b.ops,
+		root:      root,
+		states:    make(map[string][]interface{}),
+		memo:      make(map[string]*sharedStepResult),
+		cost:      cluster.NewCostModel(0),
+	}
+	ra, ok := root.(*opAgg)
+	if !ok {
+		return nil, fmt.Errorf("core: shared aggregate subtree built %T, want *opAgg", root)
+	}
+	ra.pubID = en.id
+	snap := make([]interface{}, len(en.ops))
+	for i, op := range en.ops {
+		snap[i] = op.snapshot()
+	}
+	en.states[""] = snap
+	return en, nil
+}

@@ -28,13 +28,13 @@ import (
 // so a stray cross-wired peer fails loudly on an unknown type instead of
 // half-parsing.
 const (
-	frOpen    byte = 0x20 + iota // c→s: version, tenant, options, query
-	frCancel                     // c→s: sid — tear the session down
-	frClose                      // c→s: sid — client-side close (≡ Cancel)
-	frOpenOK                     // s→c: sid, batches, queued
-	frOpenErr                    // s→c: code, message
-	frEstimate                   // s→c: sid + one Update
-	frDone                       // s→c: sid, code, message
+	frOpen     byte = 0x20 + iota // c→s: version, tenant, options, query
+	frCancel                      // c→s: sid — tear the session down
+	frClose                       // c→s: sid — client-side close (≡ Cancel)
+	frOpenOK                      // s→c: sid, batches, queued
+	frOpenErr                     // s→c: code, message
+	frEstimate                    // s→c: sid + one Update
+	frDone                        // s→c: sid, code, message
 )
 
 // sessionProtoVersion guards against mixed binaries, like the dist

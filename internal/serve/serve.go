@@ -38,6 +38,7 @@ import (
 	"iolap/internal/expr"
 	"iolap/internal/plan"
 	"iolap/internal/rel"
+	"iolap/internal/share"
 	"iolap/internal/sql"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	// DefaultSessionBytes overrides the default admission reservation
 	// (default DefaultSessionBytes).
 	DefaultSessionBytes int64
+	// DisableStateSharing turns off the cross-session shared-state cache
+	// (DESIGN.md §13): every session builds private operator state, as
+	// before PR 9. Sharing never changes results — this switch exists for
+	// benchmarking the memory multiplier and as an operational escape
+	// hatch.
+	DisableStateSharing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +134,13 @@ type Update struct {
 	Estimates      [][]bootstrap.Estimate
 	DurationMillis float64
 	Recomputed     int
+	// StateBytes is the session's private operator-state footprint after
+	// the batch; SharedStateBytes is the footprint of cache-owned shared
+	// state the session references (held once per cache entry, reported by
+	// every holder). Both are memory diagnostics — bit-identity
+	// comparisons (BitIdentical) exclude them.
+	StateBytes       int
+	SharedStateBytes int
 }
 
 // MaxRelStdev returns the worst relative standard deviation across all
@@ -295,14 +309,16 @@ func (s *Session) stepOnce() {
 func convertUpdate(u *core.Update, pp *sql.PostProcess) *Update {
 	result, ests := pp.ApplyWithEstimates(u.Result, u.Estimates)
 	return &Update{
-		Batch:          u.Batch,
-		Batches:        u.Batches,
-		Fraction:       u.Fraction,
-		Columns:        result.Schema.Names(),
-		Result:         result,
-		Estimates:      ests,
-		DurationMillis: float64(u.Duration.Microseconds()) / 1000,
-		Recomputed:     u.Recomputed,
+		Batch:            u.Batch,
+		Batches:          u.Batches,
+		Fraction:         u.Fraction,
+		Columns:          result.Schema.Names(),
+		Result:           result,
+		Estimates:        ests,
+		DurationMillis:   float64(u.Duration.Microseconds()) / 1000,
+		Recomputed:       u.Recomputed,
+		StateBytes:       u.JoinStateBytes + u.OtherStateBytes,
+		SharedStateBytes: u.SharedStateBytes,
 	}
 }
 
@@ -328,6 +344,12 @@ type Engine struct {
 	closed    bool
 	wg        sync.WaitGroup
 
+	// cache owns cross-session shared operator state (nil when
+	// Config.DisableStateSharing): sessions whose plans contain equivalent
+	// subtrees share one frozen join build store or inner-aggregate entry,
+	// refcounted per session and evicted when the last holder finishes.
+	cache *share.Cache
+
 	stats Stats
 }
 
@@ -338,6 +360,11 @@ type Stats struct {
 	Queued    int64 // opens that entered the budget queue
 	Completed int64 // sessions that delivered their exact answer
 	Cancelled int64 // sessions torn down before completion
+	// SharedStateHits counts shared-state acquisitions satisfied by an
+	// existing cache entry; SharedStateBytesSaved sums the state bytes
+	// those hits did not rebuild (both 0 with DisableStateSharing).
+	SharedStateHits       int64
+	SharedStateBytesSaved int64
 }
 
 // NewEngine builds a serving engine over a database snapshot. streamed flags
@@ -363,6 +390,9 @@ func NewEngine(db *exec.DB, streamed map[string]bool, funcs *expr.Registry, aggs
 		pending:   make(map[string][]*Session),
 		sessions:  make(map[uint64]*Session),
 		tenants:   make(map[string]int64),
+	}
+	if !e.cfg.DisableStateSharing {
+		e.cache = share.NewCache()
 	}
 	for name, st := range streamed {
 		e.streamed[name] = st
@@ -455,7 +485,7 @@ func (e *Engine) Open(query string, opts SessionOptions) (*Session, error) {
 	// Build the session's delta pipeline outside the engine lock: plan
 	// compilation is per-session work and must not stall admission or the
 	// scan loops.
-	eng, err := core.NewEngine(node, e.db, core.Options{
+	copts := core.Options{
 		Mode:             opts.Mode,
 		Trials:           opts.Trials,
 		Slack:            opts.Slack,
@@ -463,11 +493,27 @@ func (e *Engine) Open(query string, opts SessionOptions) (*Session, error) {
 		Workers:          opts.Workers,
 		StateBudgetBytes: opts.StateBudgetBytes,
 		Deltas:           deltas,
-	})
+	}
+	if e.cache != nil {
+		// Overlap detection: compilation fingerprints eligible subtrees and
+		// acquires their state from the shared cache (guarded assignment —
+		// a typed-nil interface would defeat the engine's nil check).
+		copts.SharedState = e.cache
+	}
+	eng, err := core.NewEngine(node, e.db, copts)
 	if err != nil {
 		return nil, err
 	}
 	s.eng = eng
+	if hit := eng.SharedHitBytes(); hit > 0 {
+		// Incremental charging: state served from the cache is already
+		// paid for by the cohort; this session's reservation covers only
+		// the state it actually adds.
+		s.reserve -= hit
+		if s.reserve < 0 {
+			s.reserve = 0
+		}
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -701,8 +747,35 @@ func (e *Engine) TenantReserved(tenant string) int64 {
 // Snapshot returns the cumulative engine counters.
 func (e *Engine) Snapshot() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	e.mu.Unlock()
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		st.SharedStateHits = cs.Hits
+		st.SharedStateBytesSaved = cs.BytesSaved
+	}
+	return st
+}
+
+// SharedLiveBytes returns the current footprint of the shared-state cache:
+// bytes held once regardless of how many sessions reference them (0 with
+// DisableStateSharing).
+func (e *Engine) SharedLiveBytes() int64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Stats().LiveBytes
+}
+
+// SharedPeakBytes returns the high-water mark of the shared cache footprint
+// over the engine's lifetime. Unlike SharedLiveBytes it is monotonic, so it
+// can be read after sessions finish — short-lived sessions evict their
+// entries before an observer would catch LiveBytes non-zero.
+func (e *Engine) SharedPeakBytes() int64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Stats().PeakLiveBytes
 }
 
 // Batches returns the shared schedule length for a table (0 until a session

@@ -14,7 +14,19 @@
 //	blocks: uvarint row count (0 terminates), then rows
 //	row: per column: 1 byte kind tag, then payload
 //	     (varint for INT/BOOL, 8-byte bits for FLOAT, uvarint len+bytes
-//	     for STRING; NULL has no payload)
+//	     for STRING, varint op + varint col + uvarint len+bytes for REF;
+//	     NULL has no payload)
+//
+// The v2 format ("IOL2", WriteColumnar) keeps the header and replaces the
+// block stream with tagged blocks so each block can use the §11 columnar
+// codec (block.go) while oddball blocks fall back to rows:
+//
+//	blocks: 1 byte tag — 0 terminates,
+//	        1 = row block (uvarint row count, then rows as in v1),
+//	        2 = columnar block (uvarint byte length, then an EncodeBlock
+//	            body; the row count lives inside the body)
+//
+// Read dispatches on the magic, so both generations stay readable forever.
 package storage
 
 import (
@@ -28,6 +40,21 @@ import (
 )
 
 var magic = [4]byte{'I', 'O', 'L', '1'}
+var magic2 = [4]byte{'I', 'O', 'L', '2'}
+
+// v2 block tags.
+const (
+	tblockEnd      = 0 // no more blocks
+	tblockRows     = 1 // row-format block (v1 encoding)
+	tblockColumnar = 2 // §11 columnar block (EncodeBlock body)
+)
+
+// maxBlockBytes bounds a columnar block body so a corrupt length prefix
+// cannot force a giant allocation before decoding fails.
+const maxBlockBytes = 64 << 20
+
+// maxStringBytes bounds one string cell for the same reason.
+const maxStringBytes = 1 << 28
 
 // DefaultBlockRows is the row count per block when unspecified.
 const DefaultBlockRows = 1024
@@ -39,14 +66,8 @@ func Write(w io.Writer, r *rel.Relation, blockRows int) error {
 		blockRows = DefaultBlockRows
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if err := writeHeader(bw, magic, r.Schema); err != nil {
 		return err
-	}
-	writeUvarint(bw, uint64(len(r.Schema)))
-	for _, c := range r.Schema {
-		writeUvarint(bw, uint64(len(c.Name)))
-		bw.WriteString(c.Name)
-		bw.WriteByte(byte(c.Type))
 	}
 	for lo := 0; lo < r.Len(); lo += blockRows {
 		hi := lo + blockRows
@@ -62,6 +83,57 @@ func Write(w io.Writer, r *rel.Relation, blockRows int) error {
 	}
 	writeUvarint(bw, 0) // terminator
 	return bw.Flush()
+}
+
+// WriteColumnar serialises a relation in the v2 tagged-block format: each
+// block is stored with the §11 columnar codec (optionally flate-compressed)
+// unless it contains cells the codec rejects (lineage KRefs), in which case
+// that block alone falls back to the v1 row encoding.
+func WriteColumnar(w io.Writer, r *rel.Relation, blockRows int, compress bool) error {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magic2, r.Schema); err != nil {
+		return err
+	}
+	var scratch []byte
+	for lo := 0; lo < r.Len(); lo += blockRows {
+		hi := lo + blockRows
+		if hi > r.Len() {
+			hi = r.Len()
+		}
+		tuples := r.Tuples[lo:hi]
+		if enc, err := EncodeBlock(scratch[:0], r.Schema, tuples, compress); err == nil {
+			scratch = enc
+			bw.WriteByte(tblockColumnar)
+			writeUvarint(bw, uint64(len(enc)))
+			bw.Write(enc)
+			continue
+		}
+		bw.WriteByte(tblockRows)
+		writeUvarint(bw, uint64(len(tuples)))
+		for _, tp := range tuples {
+			if err := writeRow(bw, tp.Vals); err != nil {
+				return err
+			}
+		}
+	}
+	bw.WriteByte(tblockEnd)
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, m [4]byte, schema rel.Schema) error {
+	if _, err := bw.Write(m[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(schema)))
+	for _, c := range schema {
+		writeUvarint(bw, uint64(len(c.Name)))
+		bw.WriteString(c.Name)
+		bw.WriteByte(byte(c.Type))
+	}
+	return nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) {
@@ -93,6 +165,17 @@ func writeRow(w *bufio.Writer, vals []rel.Value) error {
 			s := v.Str()
 			writeUvarint(w, uint64(len(s)))
 			w.WriteString(s)
+		case rel.KRef:
+			// Lineage references, same payload as the spill row codec:
+			// varint op, varint col, uvarint key length + key bytes.
+			r := v.Ref()
+			var buf [binary.MaxVarintLen64]byte
+			n := binary.PutVarint(buf[:], int64(r.Op))
+			w.Write(buf[:n])
+			n = binary.PutVarint(buf[:], int64(r.Col))
+			w.Write(buf[:n])
+			writeUvarint(w, uint64(len(r.Key)))
+			w.WriteString(r.Key)
 		default:
 			return fmt.Errorf("storage: cannot serialise %v values", v.Kind())
 		}
@@ -122,25 +205,32 @@ func (t *Table) Block(i int) []rel.Tuple {
 	return t.Rel.Tuples[lo:hi]
 }
 
-// Read deserialises a block table.
+// Read deserialises a block table of either generation, dispatching on the
+// magic: "IOL1" row blocks or "IOL2" tagged columnar/row blocks.
 func Read(r io.Reader) (*Table, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	if m != magic {
+	if m != magic && m != magic2 {
 		return nil, fmt.Errorf("storage: bad magic %q", m)
 	}
 	nCols, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
+	if nCols > maxBlockBytes {
+		return nil, fmt.Errorf("storage: implausible column count %d", nCols)
+	}
 	schema := make(rel.Schema, nCols)
 	for i := range schema {
 		nameLen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
+		}
+		if nameLen > maxStringBytes {
+			return nil, fmt.Errorf("storage: implausible column name length %d", nameLen)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
@@ -153,6 +243,9 @@ func Read(r io.Reader) (*Table, error) {
 		schema[i] = rel.Column{Name: string(name), Type: rel.Kind(kind)}
 	}
 	t := &Table{Rel: rel.NewRelation(schema)}
+	if m == magic2 {
+		return t, readBlocksV2(br, t, schema)
+	}
 	for {
 		count, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -171,6 +264,62 @@ func Read(r io.Reader) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// readBlocksV2 consumes the v2 tagged block stream into t.
+func readBlocksV2(br *bufio.Reader, t *Table, schema rel.Schema) error {
+	var body []byte
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tblockEnd:
+			return nil
+		case tblockRows:
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			if count > maxBlockBytes {
+				return fmt.Errorf("storage: implausible row count %d", count)
+			}
+			t.BlockStarts = append(t.BlockStarts, t.Rel.Len())
+			for i := uint64(0); i < count; i++ {
+				vals, err := readRow(br, len(schema))
+				if err != nil {
+					return err
+				}
+				t.Rel.Append(vals...)
+			}
+		case tblockColumnar:
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			if n > maxBlockBytes {
+				return fmt.Errorf("storage: columnar block of %d bytes exceeds limit", n)
+			}
+			if uint64(cap(body)) < n {
+				body = make([]byte, n)
+			}
+			body = body[:n]
+			if _, err := io.ReadFull(br, body); err != nil {
+				return err
+			}
+			tuples, err := DecodeBlock(body, schema)
+			if err != nil {
+				return fmt.Errorf("storage: columnar block: %w", err)
+			}
+			t.BlockStarts = append(t.BlockStarts, t.Rel.Len())
+			for _, tp := range tuples {
+				t.Rel.Append(tp.Vals...)
+			}
+		default:
+			return fmt.Errorf("storage: bad block tag %d", tag)
+		}
+	}
 }
 
 func readRow(br *bufio.Reader, cols int) ([]rel.Value, error) {
@@ -206,11 +355,35 @@ func readRow(br *bufio.Reader, cols int) ([]rel.Value, error) {
 			if err != nil {
 				return nil, err
 			}
+			if sLen > maxStringBytes {
+				return nil, fmt.Errorf("storage: implausible string length %d", sLen)
+			}
 			s := make([]byte, sLen)
 			if _, err := io.ReadFull(br, s); err != nil {
 				return nil, err
 			}
 			vals[i] = rel.String(string(s))
+		case rel.KRef:
+			op, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			col, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			kLen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if kLen > maxStringBytes {
+				return nil, fmt.Errorf("storage: implausible ref key length %d", kLen)
+			}
+			key := make([]byte, kLen)
+			if _, err := io.ReadFull(br, key); err != nil {
+				return nil, err
+			}
+			vals[i] = rel.NewRef(rel.Ref{Op: int(op), Key: string(key), Col: int(col)})
 		default:
 			return nil, fmt.Errorf("storage: bad value kind %d", kind)
 		}

@@ -34,6 +34,10 @@ type ServeOptions struct {
 	// DefaultSessionBytes is the admission reservation of sessions that do
 	// not set StateBudgetBytes (default 1 MiB).
 	DefaultSessionBytes int64
+	// DisableStateSharing turns off the cross-session shared-state cache:
+	// sessions with equivalent plan subtrees then build private operator
+	// state instead of sharing one copy. Results are identical either way.
+	DisableStateSharing bool
 }
 
 // ServeSessionOptions tunes one serving session. Schedule-shaping options
@@ -103,6 +107,7 @@ func (s *Session) NewServer(opts *ServeOptions) *Server {
 		QueueOnBudget:       opts.QueueOnBudget,
 		MaxSessions:         opts.MaxSessions,
 		DefaultSessionBytes: opts.DefaultSessionBytes,
+		DisableStateSharing: opts.DisableStateSharing,
 	})
 	return &Server{eng: eng}
 }
@@ -139,6 +144,38 @@ func (sv *Server) QueueLen() int { return sv.eng.QueueLen() }
 
 // TenantReserved returns a tenant's currently reserved state bytes.
 func (sv *Server) TenantReserved(tenant string) int64 { return sv.eng.TenantReserved(tenant) }
+
+// ServeStats are cumulative serving-engine counters (monotonic).
+type ServeStats struct {
+	Opened    int64 // sessions admitted or queued
+	Rejected  int64 // opens refused at the budget boundary
+	Queued    int64 // opens that entered the budget queue
+	Completed int64 // sessions that delivered their exact answer
+	Cancelled int64 // sessions torn down before completion
+	// SharedStateHits counts session opens whose plan shared operator state
+	// already resident in the cache; SharedStateBytesSaved sums the state
+	// bytes those hits did not rebuild.
+	SharedStateHits       int64
+	SharedStateBytesSaved int64
+}
+
+// Stats returns the server's cumulative counters.
+func (sv *Server) Stats() ServeStats {
+	st := sv.eng.Snapshot()
+	return ServeStats{
+		Opened:                st.Opened,
+		Rejected:              st.Rejected,
+		Queued:                st.Queued,
+		Completed:             st.Completed,
+		Cancelled:             st.Cancelled,
+		SharedStateHits:       st.SharedStateHits,
+		SharedStateBytesSaved: st.SharedStateBytesSaved,
+	}
+}
+
+// SharedLiveBytes returns the current footprint of the shared-state cache —
+// bytes resident once no matter how many sessions reference them.
+func (sv *Server) SharedLiveBytes() int64 { return sv.eng.SharedLiveBytes() }
 
 // Close shuts the server down: remote connections drop, queued sessions are
 // rejected, running sessions end with ErrSessionCancelled. Idempotent.
