@@ -35,10 +35,11 @@ race:
 check-race: race
 
 # Run the fuzz corpora as plain tests: every seed in testdata/fuzz and every
-# f.Add seed goes through the spill-row codec round-trip properties and the
-# session-protocol frame decoders.
+# f.Add seed goes through the spill-row codec round-trip properties, the
+# session-protocol frame decoders, and the batched-aggregate kernels
+# (bit-identical to the per-tuple fold for every builtin aggregate).
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/storage ./internal/serve
+	$(GO) test -run Fuzz ./internal/storage ./internal/serve ./internal/agg
 
 # Actually fuzz (open-ended; ctrl-C when satisfied, or FUZZTIME=1m make fuzz).
 FUZZTIME ?= 30s

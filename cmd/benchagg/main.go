@@ -37,15 +37,32 @@ type aggResult struct {
 	OracleNsPerTuple  float64 `json:"oracle_ns_per_tuple"`
 	KernelNsPerTuple  float64 `json:"kernel_ns_per_tuple"`
 	Speedup           float64 `json:"speedup"`
+	BatchNsPerTuple   float64 `json:"batch_ns_per_tuple"`
+	BatchSpeedup      float64 `json:"batch_speedup"`
 	KernelAllocsTuple float64 `json:"kernel_allocs_per_tuple"`
+	BatchAllocsTuple  float64 `json:"batch_allocs_per_tuple"`
+}
+
+// minmaxResult is one MIN/MAX batched-ingest scenario: value orderings and
+// multiplicity mixes that stress the guarded -> lean loop transition
+// differently (ascending MIN updates every row, descending almost never;
+// zero multiplicities keep replicate slots unset so the guarded loop
+// persists).
+type minmaxResult struct {
+	Agg              string  `json:"agg"`
+	Scenario         string  `json:"scenario"`
+	KernelNsPerTuple float64 `json:"kernel_ns_per_tuple"`
+	BatchNsPerTuple  float64 `json:"batch_ns_per_tuple"`
+	BatchSpeedup     float64 `json:"batch_speedup"`
 }
 
 type report struct {
-	Rows    int         `json:"rows"`
-	Trials  int         `json:"trials"`
-	Reps    int         `json:"reps"`
-	Cores   int         `json:"cores"`
-	Results []aggResult `json:"results"`
+	Rows    int            `json:"rows"`
+	Trials  int            `json:"trials"`
+	Reps    int            `json:"reps"`
+	Cores   int            `json:"cores"`
+	Results []aggResult    `json:"results"`
+	MinMax  []minmaxResult `json:"minmax_scenarios"`
 }
 
 // fixture is the deterministic workload: values and per-tuple Poisson weight
@@ -54,6 +71,11 @@ type fixture struct {
 	vals    []float64
 	mults   []float64
 	weights [][]float64
+	// slab is the backing weight arena (stride = trials) and rows the
+	// identity row map — the batched-ingest calling convention (AddBatch
+	// gathers weight windows through slab[rows[j]*B:]).
+	slab []float64
+	rows []int32
 }
 
 func newFixture(rows, trials int, seed uint64) *fixture {
@@ -61,15 +83,17 @@ func newFixture(rows, trials int, seed uint64) *fixture {
 		vals:    make([]float64, rows),
 		mults:   make([]float64, rows),
 		weights: make([][]float64, rows),
+		slab:    make([]float64, rows*trials),
+		rows:    make([]int32, rows),
 	}
 	src := bootstrap.NewPoissonSource(seed, trials)
-	slab := make([]float64, rows*trials)
 	state := seed ^ 0x9e3779b97f4a7c15
 	for i := 0; i < rows; i++ {
 		state = state*6364136223846793005 + 1442695040888963407
 		f.vals[i] = float64(int64(state>>33)%2000) / 7.0
 		f.mults[i] = 1 + float64(i%3)
-		f.weights[i] = src.WeightsInto(uint64(i), slab[i*trials:(i+1)*trials:(i+1)*trials])
+		f.weights[i] = src.WeightsInto(uint64(i), f.slab[i*trials:(i+1)*trials:(i+1)*trials])
+		f.rows[i] = int32(i)
 	}
 	return f
 }
@@ -79,6 +103,13 @@ func (f *fixture) fold(v *agg.Vector) float64 {
 	for i := range f.vals {
 		v.Add(f.vals[i], f.mults[i], f.weights[i])
 	}
+	return v.Result(1)
+}
+
+// foldBatch ingests the whole fixture through the batched kernel entry
+// point — one AddBatch call over the gathered columns and the weight slab.
+func (f *fixture) foldBatch(v *agg.Vector) float64 {
+	v.AddBatch(f.vals, f.mults, f.slab, f.rows)
 	return v.Result(1)
 }
 
@@ -92,6 +123,19 @@ func digest(v *agg.Vector, trials int) []uint64 {
 	return out
 }
 
+// mustMatch aborts unless the two accumulators agree in every output slot's
+// bit pattern — the guard that keeps every reported timing meaningful.
+func mustMatch(what string, got, want *agg.Vector, trials int) {
+	gd, wd := digest(got, trials), digest(want, trials)
+	for i := range gd {
+		if gd[i] != wd[i] {
+			fmt.Fprintf(os.Stderr, "benchagg: %s slot %d diverged: %016x vs %016x\n",
+				what, i, gd[i], wd[i])
+			os.Exit(1)
+		}
+	}
+}
+
 func medianNsPerTuple(reps, rows int, run func()) float64 {
 	durs := make([]time.Duration, reps)
 	for i := range durs {
@@ -101,6 +145,54 @@ func medianNsPerTuple(reps, rows int, run func()) float64 {
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	return float64(durs[len(durs)/2].Nanoseconds()) / float64(rows)
+}
+
+// minmaxScenarios times the MIN/MAX kernels on orderings and multiplicity
+// mixes that exercise both halves of the guarded -> lean loop transition:
+//
+//   - ascending: MIN's every-row-updates worst case (MAX's best);
+//   - descending: the mirror image;
+//   - zero_mult: every third row has multiplicity 0, so those rows fold
+//     nothing and replicate slots with zero Poisson weights stay unset
+//     longer, keeping the guarded loop live deep into the run.
+//
+// Each scenario is guarded bit-identical (batch vs per-tuple) before timing.
+func minmaxScenarios(reg *agg.Registry, rows, trials, reps int) []minmaxResult {
+	var out []minmaxResult
+	for _, scenario := range []string{"ascending", "descending", "zero_mult"} {
+		fix := newFixture(rows, trials, 42)
+		switch scenario {
+		case "ascending":
+			sort.Float64s(fix.vals)
+		case "descending":
+			sort.Sort(sort.Reverse(sort.Float64Slice(fix.vals)))
+		case "zero_mult":
+			for i := 0; i < rows; i += 3 {
+				fix.mults[i] = 0
+			}
+		}
+		for _, name := range []string{"MIN", "MAX"} {
+			fn, _ := reg.Lookup(name)
+			kv, bv := agg.NewVector(fn, trials), agg.NewVector(fn, trials)
+			fix.fold(kv)
+			fix.foldBatch(bv)
+			mustMatch(name+" "+scenario+" batch-vs-kernel", bv, kv, trials)
+			m := minmaxResult{Agg: name, Scenario: scenario}
+			m.KernelNsPerTuple = medianNsPerTuple(reps, rows, func() {
+				kv.Reset()
+				fix.fold(kv)
+			})
+			m.BatchNsPerTuple = medianNsPerTuple(reps, rows, func() {
+				bv.Reset()
+				fix.foldBatch(bv)
+			})
+			if m.BatchNsPerTuple > 0 {
+				m.BatchSpeedup = m.KernelNsPerTuple / m.BatchNsPerTuple
+			}
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -122,19 +214,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchagg: unknown builtin %s\n", name)
 			os.Exit(1)
 		}
-		// Bit-identity guard: one full fold on each path must agree in every
-		// replicate's bit pattern before the timings mean anything.
-		kv, ov := agg.NewVector(fn, *trials), agg.NewVectorOracle(fn, *trials)
+		// Bit-identity guards: one full fold on each path must agree in
+		// every replicate's bit pattern before the timings mean anything —
+		// the per-tuple kernel against the interface oracle, and the
+		// batched ingest against the per-tuple kernel.
+		kv, ov, bv := agg.NewVector(fn, *trials), agg.NewVectorOracle(fn, *trials), agg.NewVector(fn, *trials)
 		fix.fold(kv)
 		fix.fold(ov)
-		kd, od := digest(kv, *trials), digest(ov, *trials)
-		for i := range kd {
-			if kd[i] != od[i] {
-				fmt.Fprintf(os.Stderr, "benchagg: %s slot %d diverged: kernel %016x oracle %016x\n",
-					name, i, kd[i], od[i])
-				os.Exit(1)
-			}
-		}
+		fix.foldBatch(bv)
+		mustMatch(name+" kernel-vs-oracle", kv, ov, *trials)
+		mustMatch(name+" batch-vs-kernel", bv, kv, *trials)
 
 		var r aggResult
 		r.Agg = name
@@ -149,13 +238,31 @@ func main() {
 		if r.KernelNsPerTuple > 0 {
 			r.Speedup = r.OracleNsPerTuple / r.KernelNsPerTuple
 		}
+		r.BatchNsPerTuple = medianNsPerTuple(*reps, *rows, func() {
+			bv.Reset()
+			fix.foldBatch(bv)
+		})
+		if r.BatchNsPerTuple > 0 {
+			r.BatchSpeedup = r.OracleNsPerTuple / r.BatchNsPerTuple
+		}
 		r.KernelAllocsTuple = testing.AllocsPerRun(3, func() {
 			kv.Reset()
 			fix.fold(kv)
 		}) / float64(*rows)
+		r.BatchAllocsTuple = testing.AllocsPerRun(3, func() {
+			bv.Reset()
+			fix.foldBatch(bv)
+		}) / float64(*rows)
 		rep.Results = append(rep.Results, r)
-		fmt.Printf("%-7s oracle %7.1f ns/tuple  kernel %7.1f ns/tuple  %5.2fx  %.4f allocs/tuple\n",
-			name, r.OracleNsPerTuple, r.KernelNsPerTuple, r.Speedup, r.KernelAllocsTuple)
+		fmt.Printf("%-7s oracle %7.1f ns/tuple  kernel %7.1f ns/tuple (%5.2fx)  batch %7.1f ns/tuple (%5.2fx)  %.4f allocs/tuple\n",
+			name, r.OracleNsPerTuple, r.KernelNsPerTuple, r.Speedup,
+			r.BatchNsPerTuple, r.BatchSpeedup, r.BatchAllocsTuple)
+	}
+
+	rep.MinMax = minmaxScenarios(reg, *rows, *trials, *reps)
+	for _, m := range rep.MinMax {
+		fmt.Printf("%-3s %-10s kernel %7.1f ns/tuple  batch %7.1f ns/tuple (%5.2fx)\n",
+			m.Agg, m.Scenario, m.KernelNsPerTuple, m.BatchNsPerTuple, m.BatchSpeedup)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -65,6 +65,9 @@ func main() {
 		distParts    = flag.Int("dist-partitions", 0, "hash-partition count for -dist-partition (0 = worker count)")
 		distCompress = flag.Bool("dist-compress", false, "flate-compress distributed wire traffic (setup tables and large span payloads; results identical)")
 		distElastic  = flag.String("dist-elastic", "", "host:port to accept workers joining mid-query (needs -dist; joiners replay completed batches and enter at the next batch boundary)")
+		convertSpec  = flag.String("convert", "", "rewrite a loaded table as a columnar v2 block file and exit: name=path (load the source via -iol, -csv, or -workload)")
+		convertRows  = flag.Int("convert-block-rows", 0, "rows per block for -convert (0 = storage default)")
+		convertRaw   = flag.Bool("convert-no-compress", false, "disable per-block flate compression for -convert")
 		costProfile  = flag.String("cost-profile", "", "JSON file with the learned per-row cost profile: read if present, rewritten after the run")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -154,6 +157,18 @@ func main() {
 		err = dist.ServeConn(conn, dist.WorkerOptions{Workers: *workers, Logf: log.Printf})
 		conn.Close()
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *convertSpec != "" {
+		session, _, err := buildSession(*workloadName, *scale, *seed, *csvSpec, *iolSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolap:", err)
+			os.Exit(1)
+		}
+		if err := convertTable(session, *convertSpec, *convertRows, !*convertRaw); err != nil {
 			fmt.Fprintln(os.Stderr, "iolap:", err)
 			os.Exit(1)
 		}
@@ -260,7 +275,8 @@ func repl(session *iolap.Session, opts *iolap.Options, in io.Reader, out io.Writ
 		case line == `\tables`:
 			for _, t := range session.Tables() {
 				n, _ := session.RowCount(t)
-				fmt.Fprintf(out, "  %s (%d rows)\n", t, n)
+				format, _ := session.TableFormat(t)
+				fmt.Fprintf(out, "  %s (%d rows, %s)\n", t, n, format)
 			}
 			continue
 		case strings.HasPrefix(line, `\stream `):
@@ -465,6 +481,41 @@ func printRowsTo(w io.Writer, u *iolap.Update, maxRows int) {
 		}
 		fmt.Fprintf(w, "  %s\n", strings.Join(cells, " | "))
 	}
+}
+
+// convertTable writes a loaded table as a columnar v2 block file — the
+// -convert path through the storage block codec. Reloading the output with
+// -iol takes the columnar decode path and \tables reports it as such.
+func convertTable(s *iolap.Session, spec string, blockRows int, compress bool) error {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-convert wants name=path, got %q", spec)
+	}
+	n, err := s.RowCount(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteBlockTable(name, f, blockRows, true, compress); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	comp := "flate"
+	if !compress {
+		comp = "raw"
+	}
+	fmt.Printf("wrote %s: %d rows, columnar v2 (%s), %d bytes\n", name, n, comp, info.Size())
+	return nil
 }
 
 // loadIOL reads a "name=path" block table into the session.

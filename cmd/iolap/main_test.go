@@ -76,6 +76,55 @@ func TestLoadCSVEndToEnd(t *testing.T) {
 	}
 }
 
+func TestConvertRoundTrip(t *testing.T) {
+	// -convert writes a loaded table back out in the columnar v2 layout;
+	// reloading it yields the same rows and \tables reports the format.
+	dir := t.TempDir()
+	src, _ := iolap.NewConvivaSession(300, 1)
+	path := filepath.Join(dir, "sessions.iol")
+	if err := convertTable(src, "conviva_sessions="+path, 64, true); err != nil {
+		t.Fatal(err)
+	}
+	s := iolap.NewSession()
+	if err := loadIOL(s, "sessions="+path); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RowCount("sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("reloaded %d rows, want 300", n)
+	}
+	format, err := s.TableFormat("sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(format, "columnar v2") {
+		t.Errorf("format = %q, want columnar v2", format)
+	}
+	want, err := src.Exec("SELECT COUNT(*) AS n, SUM(play_time) AS s FROM conviva_sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Exec("SELECT COUNT(*) AS n, SUM(play_time) AS s FROM sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Rows[0] {
+		if want.Rows[0][i] != got.Rows[0][i] {
+			t.Errorf("col %d: original %v, converted %v", i, want.Rows[0][i], got.Rows[0][i])
+		}
+	}
+
+	if err := convertTable(src, "missing-equals", 0, true); err == nil {
+		t.Error("malformed spec must fail")
+	}
+	if err := convertTable(src, "nosuch="+path, 0, true); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
 func TestLoadCSVErrors(t *testing.T) {
 	s := iolap.NewSession()
 	if err := loadCSV(s, "missing-equals"); err == nil {
@@ -202,7 +251,7 @@ func TestREPL(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{
-		"conviva_sessions (200 rows)", // \tables
+		"conviva_sessions (200 rows, memory)", // \tables
 		"batch 2/2",                   // query ran to completion
 		"error:",                      // bad SQL surfaced, loop continued
 		"streaming",                   // \stream ack

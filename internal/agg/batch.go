@@ -1,0 +1,268 @@
+// Batched ingest for the flat replicate kernels: the columnar pipeline
+// (DESIGN.md §14) hands each (group, aggregate) pair a run of already
+// gathered argument values instead of calling Add per tuple, so the
+// per-call dispatch, slot arithmetic, and weight-window slicing amortise
+// across the run and the inner loops stay in registers across tuples.
+//
+// Bit-identity: AddBatch performs, per accumulator slot, exactly the
+// floating-point operations of calling Add(vals[j], mults[j], w_j) for j in
+// order, where w_j is the row's window of the scan's weight slab. Tuples
+// are folded outer-loop-in-order and replicates inner, the same nesting as
+// the per-tuple path, so every slot sees the same operand sequence. The
+// only structural liberties are the ones Fold/FoldPar already take: mains
+// may fold in a separate pass (each slot's own sequence is unchanged), and
+// MIN/MAX may switch to a lean conditional-store loop once every replicate
+// in the window is set — the flag is then invariant, so the dropped check
+// and the unconditional store cannot change a value.
+package agg
+
+// rowWeights returns row j's weight window [lo, hi) of the slab, or nil
+// when the batch carries no per-row weights.
+func rowWeights(slab []float64, stride int, rows []int32, j, lo, hi int) []float64 {
+	if slab == nil {
+		return nil
+	}
+	base := int(rows[j]) * stride
+	return slab[base+lo : base+hi]
+}
+
+// batchTile bounds how many rows the sequential AddBatch hands to each
+// mains+replicates pass pair, so the second pass re-reads vals/mults from
+// L1 instead of memory. Tiling cannot affect bit-identity: each slot still
+// sees every row in batch order, only the interleaving across slots moves.
+const batchTile = 512
+
+// AddBatch folds a run of gathered inputs: entry j carries value vals[j],
+// multiplicity mults[j], and — when slab is non-nil — the Poisson weight
+// window slab[rows[j]·B : rows[j]·B+B] (B = Trials()). Equivalent to
+// calling Add per entry in order; see the package comment for the
+// bit-identity argument.
+func (v *Vector) AddBatch(vals, mults, slab []float64, rows []int32) {
+	if v.bank == nil {
+		for j := range vals {
+			v.Add(vals[j], mults[j], rowWeights(slab, v.trials, rows, j, 0, v.trials))
+		}
+		return
+	}
+	for t := 0; t < len(vals); t += batchTile {
+		e := t + batchTile
+		if e > len(vals) {
+			e = len(vals)
+		}
+		var rt []int32
+		if rows != nil {
+			rt = rows[t:e]
+		}
+		v.AddBatchMain(vals[t:e], mults[t:e])
+		v.AddBatchRange(0, v.trials, vals[t:e], mults[t:e], slab, rt)
+	}
+}
+
+// AddBatchPar is AddBatch with the replicate dimension split across
+// workers, the batched twin of FoldPar: parts workers own contiguous
+// replicate ranges and one extra task owns the mains, so every slot still
+// receives its sequential operand sequence.
+func (v *Vector) AddBatchPar(vals, mults, slab []float64, rows []int32, pmap func(n int, fn func(i int)), parts int) {
+	B := v.trials
+	if parts > B {
+		parts = B
+	}
+	if parts <= 1 || pmap == nil || v.bank == nil {
+		v.AddBatch(vals, mults, slab, rows)
+		return
+	}
+	pmap(parts+1, func(p int) {
+		if p == parts {
+			v.AddBatchMain(vals, mults)
+			return
+		}
+		v.AddBatchRange(p*B/parts, (p+1)*B/parts, vals, mults, slab, rows)
+	})
+}
+
+// AddBatchMain folds the run into the main slots only (the mains task of
+// AddBatchPar).
+func (v *Vector) AddBatchMain(vals, mults []float64) {
+	if v.bank == nil {
+		for j := range vals {
+			v.main.Add(vals[j], mults[j])
+		}
+		return
+	}
+	// The main slot is one accumulator against B≈100 replicates, so there
+	// is nothing to amortise: reuse the per-tuple kernel verbatim. (This
+	// also keeps the exact compiled expression shape — a hand-rolled
+	// register accumulator is free to commute the adds' operand order,
+	// which flips which NaN payload survives when both operands are NaN.)
+	k, slots := v.Fn.kind, v.slots()
+	for j := range vals {
+		bankAddMain(k, v.bank, slots, vals[j], mults[j])
+	}
+}
+
+// AddBatchRange folds the run into replicates [lo, hi) only. Row j's
+// replicate b gets weight mults[j]·slab[rows[j]·B+b] (mults[j] alone when
+// slab is nil), exactly like bankAddRange per tuple.
+//
+// The arithmetic kinds delegate to bankAddRange per row rather than
+// open-coding the accumulation loop here: a second compiled copy of
+// `s[i] += …` is free to commute the add's operand order, and when both
+// the accumulator and the addend are NaN the hardware keeps the first
+// operand's payload — so a re-compiled loop can bit-diverge from the
+// oracle on NaN inputs even though the source-level FP ops are identical
+// (the same reason AddBatchMain reuses bankAddMain). Routing every row
+// through the per-tuple kernel's own body keeps the one instruction
+// sequence the equivalence fuzz already pins. MIN/MAX instead run the
+// dedicated batch loop below: they do no FP arithmetic (compares and bit
+// copies only), so they carry no NaN tie-break to preserve.
+func (v *Vector) AddBatchRange(lo, hi int, vals, mults, slab []float64, rows []int32) {
+	if v.bank == nil {
+		for j := range vals {
+			w := rowWeights(slab, v.trials, rows, j, 0, v.trials)
+			val, mult := vals[j], mults[j]
+			for b := lo; b < hi; b++ {
+				x := mult
+				if w != nil {
+					x *= w[b]
+				}
+				v.reps[b].Add(val, x)
+			}
+		}
+		return
+	}
+	switch v.Fn.kind {
+	case kMin:
+		v.batchMinMax(lo, hi, vals, mults, slab, rows, false)
+		return
+	case kMax:
+		v.batchMinMax(lo, hi, vals, mults, slab, rows, true)
+		return
+	}
+	k, bank, slots, stride := v.Fn.kind, v.bank, v.slots(), v.trials
+	for j := range vals {
+		var w []float64
+		if slab != nil {
+			base := int(rows[j]) * stride
+			w = slab[base : base+stride]
+		}
+		bankAddRange(k, bank, slots, lo, hi, vals[j], nil, mults[j], w)
+	}
+}
+
+// batchMinMax is the shared MIN/MAX replicate-range kernel. Rows with
+// mult ≤ 0 fold nothing (every weight product mult·poisson is then ≤ 0,
+// Poisson weights being non-negative — the same reduction bankAddRange's
+// fast path makes). While some replicate in the window is still unset the
+// guarded loop runs, counting open slots as it goes; once the window is
+// fully set it switches to a lean compare-and-select loop with an
+// unconditional store, which the compiler keeps branch-free.
+func (v *Vector) batchMinMax(lo, hi int, vals, mults, slab []float64, rows []int32, max bool) {
+	bank, slots, stride := v.bank, v.slots(), v.trials
+	cur := bank[1+lo : 1+hi]
+	set := bank[slots+1+lo : slots+1+hi]
+	j := 0
+	for ; j < len(vals); j++ {
+		val := vals[j]
+		if mults[j] <= 0 {
+			continue
+		}
+		open := 0
+		if slab == nil {
+			for i := range cur {
+				nv, ns := cur[i], set[i]
+				better := val < nv
+				if max {
+					better = val > nv
+				}
+				if ns == 0 || better {
+					nv, ns = val, 1
+				}
+				cur[i], set[i] = nv, ns
+				if ns == 0 {
+					open++
+				}
+			}
+		} else {
+			w := rowWeights(slab, stride, rows, j, lo, hi)
+			cc, st := cur[:len(w)], set[:len(w)]
+			for i := range w {
+				nv, ns := cc[i], st[i]
+				better := val < nv
+				if max {
+					better = val > nv
+				}
+				// Value test before the weight test (same verdict; see the
+				// kernel fast path): the weight is the unpredictable branch.
+				if (ns == 0 || better) && w[i] > 0 {
+					nv, ns = val, 1
+				}
+				cc[i], st[i] = nv, ns
+				if ns == 0 {
+					open++
+				}
+			}
+		}
+		if open == 0 {
+			j++
+			break
+		}
+	}
+	if j >= len(vals) {
+		return
+	}
+	// Every slot in the window is set: the set flags are invariant from here
+	// on, so the remaining rows run the lean loops.
+	if max {
+		for ; j < len(vals); j++ {
+			val := vals[j]
+			if mults[j] <= 0 {
+				continue
+			}
+			if slab == nil {
+				for i := range cur {
+					nv := cur[i]
+					if val > nv {
+						nv = val
+					}
+					cur[i] = nv
+				}
+				continue
+			}
+			w := rowWeights(slab, stride, rows, j, lo, hi)
+			cc := cur[:len(w)]
+			for i := range w {
+				nv := cc[i]
+				if val > nv && w[i] > 0 {
+					nv = val
+				}
+				cc[i] = nv
+			}
+		}
+		return
+	}
+	for ; j < len(vals); j++ {
+		val := vals[j]
+		if mults[j] <= 0 {
+			continue
+		}
+		if slab == nil {
+			for i := range cur {
+				nv := cur[i]
+				if val < nv {
+					nv = val
+				}
+				cur[i] = nv
+			}
+			continue
+		}
+		w := rowWeights(slab, stride, rows, j, lo, hi)
+		cc := cur[:len(w)]
+		for i := range w {
+			nv := cc[i]
+			if val < nv && w[i] > 0 {
+				nv = val
+			}
+			cc[i] = nv
+		}
+	}
+}

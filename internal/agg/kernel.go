@@ -211,11 +211,16 @@ func bankAddRange(k kernelKind, bank []float64, slots, lo, hi int, val float64, 
 		set := bank[slots+1+lo : slots+1+hi]
 		if reps == nil && poisson != nil && mult > 0 {
 			// Fast path: mult·w > 0 reduces to w > 0 (Poisson weights are
-			// non-negative), so the weight product drops out entirely.
+			// non-negative), so the weight product drops out entirely. The
+			// value test runs before the weight test — same verdict (pure
+			// conditions), but in steady state "val improves the slot" is
+			// rare and predictable while w > 0 is a ~63/37 coin flip, so
+			// short-circuiting on the value spares the branch predictor the
+			// per-replicate weight check.
 			w := poisson[lo:hi]
 			vals, set := vals[:len(w)], set[:len(w)]
 			for i := range w {
-				if w[i] > 0 && (set[i] == 0 || val < vals[i]) {
+				if (set[i] == 0 || val < vals[i]) && w[i] > 0 {
 					vals[i] = val
 					set[i] = 1
 				}
@@ -244,10 +249,11 @@ func bankAddRange(k kernelKind, bank []float64, slots, lo, hi int, val float64, 
 		vals := bank[1+lo : 1+hi]
 		set := bank[slots+1+lo : slots+1+hi]
 		if reps == nil && poisson != nil && mult > 0 {
+			// Value test first for the branch predictor, as in kMin.
 			w := poisson[lo:hi]
 			vals, set := vals[:len(w)], set[:len(w)]
 			for i := range w {
-				if w[i] > 0 && (set[i] == 0 || val > vals[i]) {
+				if (set[i] == 0 || val > vals[i]) && w[i] > 0 {
 					vals[i] = val
 					set[i] = 1
 				}

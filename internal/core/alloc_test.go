@@ -50,6 +50,11 @@ func TestEngineAllocsPerTupleSteadyState(t *testing.T) {
 	queries := []struct{ name, q string }{
 		{"global_agg", `SELECT COUNT(*) AS n, AVG(buffer_time) AS abt, SUM(play_time) AS spt FROM sessions`},
 		{"group_by", `SELECT cdn, SUM(play_time) AS spt, STDDEV(buffer_time) AS sbt FROM sessions GROUP BY cdn`},
+		// Columnar scan -> vectorized select -> batched fold: the filter
+		// narrows the batch through a selection vector, so the fold gathers
+		// survivors straight from the scan's column banks.
+		{"filter_group_by", `SELECT cdn, SUM(play_time) AS spt, MIN(buffer_time) AS mbt
+			FROM sessions WHERE buffer_time > 25 GROUP BY cdn`},
 	}
 	for _, q := range queries {
 		for _, workers := range []int{1, 4} {

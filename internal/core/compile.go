@@ -134,6 +134,7 @@ func compile(root plan.Node, db *exec.DB, opts Options, spill *delta.SpillPolicy
 		scaleExp: scaleExp[norm.ID()],
 	}
 	c.ops = append(c.ops, c.sink)
+	markColumnar(child, false, nil)
 	seen := map[string]bool{}
 	for _, s := range plan.StreamedScans(norm) {
 		if !seen[s.Table] {
@@ -489,6 +490,75 @@ func mayGrow(root plan.Node, numOps int, an *plan.Analysis) []bool {
 	return grow
 }
 
+// markColumnar decides, per streamed scan, whether attaching the columnar
+// companion batch pays for itself — and which banks it must materialise.
+// The batch flows scan → select → join probe and is consumed by a
+// vectorized predicate (opSelect.vec), a batched key probe
+// (opJoin.probeCB), or a batchable aggregate fold; every other operator
+// drops it. A scan with no downstream consumer skips the columnar build
+// entirely, and a consuming plan gets a subset view covering exactly the
+// predicate, key, and argument columns — a high-cardinality column outside
+// that set would otherwise pay a bank (worst case a dictionary insert per
+// row) for nothing.
+//
+// wanted reports whether op's parent consumes its output batch, and need
+// the columns the parent reads — in the coordinate space of op's output
+// schema, which SELECT (the only operator that forwards a batch) shares
+// with its child.
+func markColumnar(op operator, wanted bool, need []bool) {
+	switch o := op.(type) {
+	case *opScan:
+		o.wantCB = wanted
+		o.cbNeed = need
+	case *opSelect:
+		// A compiled vector predicate consumes the batch itself and is the
+		// only path that forwards a (narrowed) batch downstream; without
+		// one the batch dies here no matter what the parent wants.
+		if o.vec == nil {
+			markColumnar(o.child, false, nil)
+			return
+		}
+		childNeed := make([]bool, len(o.node.Schema()))
+		if wanted {
+			copy(childNeed, need)
+		}
+		for _, col := range o.vec.Cols(nil) {
+			childNeed[col] = true
+		}
+		markColumnar(o.child, true, childNeed)
+	case *opProject:
+		markColumnar(o.child, false, nil)
+	case *opUnion:
+		markColumnar(o.l, false, nil)
+		markColumnar(o.r, false, nil)
+	case *opJoin:
+		// probeCB consumes the probe (left) side's batch, reading only the
+		// probe key columns; partitioned shipping routes through
+		// probePartitioned, which stays on rows.
+		leftNeed := make([]bool, o.lw)
+		for _, col := range o.node.LKeys {
+			leftNeed[col] = true
+		}
+		markColumnar(o.l, o.partBuckets == 0, leftNeed)
+		markColumnar(o.r, false, nil)
+	case *opAgg:
+		childNeed := make([]bool, len(o.node.Child.Schema()))
+		for _, col := range o.node.GroupBy {
+			childNeed[col] = true
+		}
+		for _, col := range o.batchCols {
+			if col >= 0 {
+				childNeed[col] = true
+			}
+		}
+		markColumnar(o.child, o.batchable, childNeed)
+	case *opSink:
+		markColumnar(o.child, false, nil)
+	}
+	// opSharedBuild and opSharedAgg are leaves here: shared subtrees own
+	// their operators and are walked by their builders (shared.go).
+}
+
 // build constructs the online operator for a plan node.
 func (c *compiled) build(n plan.Node, an *plan.Analysis, scaleExp []int, grow []bool, opts Options, trackRanges bool) (operator, error) {
 	switch t := n.(type) {
@@ -510,6 +580,14 @@ func (c *compiled) build(n plan.Node, an *plan.Analysis, scaleExp []int, grow []
 			}
 		}
 		op := &opSelect{node: t, child: child, predUncertain: uncPred}
+		if !uncPred {
+			// Deterministic predicate: compile the columnar form once. A
+			// miss (shape outside CompileVec's subset) keeps vec nil and the
+			// operator on the row path.
+			if vp, ok := expr.CompileVec(t.Pred); ok {
+				op.vec = vp
+			}
+		}
 		c.ops = append(c.ops, op)
 		return op, nil
 

@@ -179,6 +179,14 @@ type Options struct {
 	// aggregate entries and is inert for solo engines. Results stay
 	// bit-identical to a private build; only memory ownership changes.
 	SharedState SharedStateCache
+	// NoVectorize forces the row-at-a-time operator paths, disabling the
+	// columnar mini-batch pipeline (DESIGN.md §14: scan-attached column
+	// banks, selection-vector SELECT, batched join probes and aggregate
+	// folds). The vectorized paths perform the same floating-point
+	// operations in the same order as the row paths — the equivalence
+	// suites run both and assert bit-identical updates — so this is an
+	// execution-layout switch and a debugging oracle, never a semantic one.
+	NoVectorize bool
 }
 
 func (o Options) withDefaults() Options {
@@ -260,6 +268,10 @@ type batchContext struct {
 	// design — a mutable package-level parThreshold the tests overwrote —
 	// was a data race under `go test -race -parallel`.
 	cost *cluster.CostModel
+	// vec enables the columnar batch pipeline (off under Options.NoVectorize):
+	// streamed scans attach column banks to their output and downstream
+	// operators take the batched paths where their gates allow.
+	vec bool
 }
 
 // fanout reports whether a site of the given operator class processing n

@@ -330,6 +330,7 @@ func (e *Engine) newBatchContext(deltaRows *rel.Relation, seenAfter int) *batchC
 		pool:    e.pool,
 		cost:    e.cost,
 		exch:    e.exch,
+		vec:     !e.opts.NoVectorize,
 	}
 }
 

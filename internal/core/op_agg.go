@@ -67,6 +67,19 @@ type opAgg struct {
 	// map by string(keyBuf), which the compiler compiles to a no-copy,
 	// no-allocation access; only a genuinely new group materialises the key.
 	keyBuf []byte
+	// batchable marks the operator for the columnar Phase A fold: every
+	// aggregate argument is COUNT(*) or a bare column (batchCols holds the
+	// index, -1 for COUNT(*)) and no spec is lazy, so arguments gather
+	// straight from the column banks without expression evaluation.
+	batchable bool
+	batchCols []int32
+	// gather is the batched fold's reusable argument-gather scratch (the
+	// parallel heavy-group path; concurrent light-group tasks use per-task
+	// buffers).
+	gather gatherScratch
+	// rowGroups is the batched fold's reusable row -> group map for one
+	// batch, filled by the bookkeeping pass.
+	rowGroups []*aggGroup
 	// repsBuf is the sequential fold's reusable replicate-argument buffer.
 	repsBuf []float64
 	// groupBytes is the estimated per-group sketch footprint (constant per
@@ -123,6 +136,8 @@ func newOpAgg(t *plan.Aggregate, child operator, an *plan.Analysis, scaleExp int
 			op.uncInput[i] = true
 		}
 	}
+	op.batchable = true
+	op.batchCols = make([]int32, len(t.Aggs))
 	for i, sp := range t.Aggs {
 		c := aggSpecC{
 			fn:     sp.Fn,
@@ -140,7 +155,20 @@ func newOpAgg(t *plan.Aggregate, child operator, an *plan.Analysis, scaleExp int
 		if c.argUncertain {
 			op.hasLazy = true
 		}
+		op.batchCols[i] = -1
+		if sp.Arg != nil {
+			if col, ok := sp.Arg.(*expr.Col); ok {
+				op.batchCols[i] = int32(col.Idx)
+			} else {
+				op.batchable = false
+			}
+		}
 		op.specs = append(op.specs, c)
+	}
+	if op.hasLazy {
+		// Lazy specs fold from lineage rows each batch and certain rows
+		// must be cloned into the lineage sets — row-path bookkeeping.
+		op.batchable = false
 	}
 	op.groupBytes = 64
 	for i := range op.specs {
@@ -166,24 +194,30 @@ func (o *opAgg) getGroup(vals []rel.Value, key string) *aggGroup {
 		for i, c := range o.node.GroupBy {
 			keyVals[i] = vals[c]
 		}
-		g = &aggGroup{
-			key:    keyVals,
-			sketch: make([]*agg.Vector, len(o.specs)),
-			ranges: make([]*bootstrap.Range, len(o.specs)),
-		}
-		for i, sp := range o.specs {
-			g.sketch[i] = agg.NewVector(sp.fn, o.trials)
-			// Only smooth aggregates get variation ranges: MIN/MAX and
-			// COUNT(DISTINCT) drift monotonically under insertions, so a
-			// range would fail its integrity check on almost every batch;
-			// their dependents simply stay non-deterministic.
-			if sp.uncertainOut && sp.fn.Smooth {
-				g.ranges[i] = bootstrap.NewRange(o.slack)
-			}
-		}
-		o.groups[key] = g
-		o.order = append(o.order, key)
+		g = o.newGroup(key, keyVals)
 	}
+	return g
+}
+
+// newGroup registers a group under key with the given grouping values.
+func (o *opAgg) newGroup(key string, keyVals []rel.Value) *aggGroup {
+	g := &aggGroup{
+		key:    keyVals,
+		sketch: make([]*agg.Vector, len(o.specs)),
+		ranges: make([]*bootstrap.Range, len(o.specs)),
+	}
+	for i, sp := range o.specs {
+		g.sketch[i] = agg.NewVector(sp.fn, o.trials)
+		// Only smooth aggregates get variation ranges: MIN/MAX and
+		// COUNT(DISTINCT) drift monotonically under insertions, so a
+		// range would fail its integrity check on almost every batch;
+		// their dependents simply stay non-deterministic.
+		if sp.uncertainOut && sp.fn.Smooth {
+			g.ranges[i] = bootstrap.NewRange(o.slack)
+		}
+	}
+	o.groups[key] = g
+	o.order = append(o.order, key)
 	return g
 }
 
@@ -239,6 +273,152 @@ func argReps(sp aggSpecC, r delta.Row, bc *batchContext, dst []float64) []float6
 	return reps
 }
 
+// gatherScratch holds one batched fold's gathered argument run: values,
+// multiplicities, and source-row indexes (the AddBatch calling
+// convention) for one (group, spec) pair at a time.
+type gatherScratch struct {
+	vals, mults []float64
+	rows        []int32
+}
+
+func (sc *gatherScratch) reset(n int) {
+	if cap(sc.vals) < n {
+		sc.vals = make([]float64, 0, n)
+		sc.mults = make([]float64, 0, n)
+		sc.rows = make([]int32, 0, n)
+	}
+	sc.vals, sc.mults, sc.rows = sc.vals[:0], sc.mults[:0], sc.rows[:0]
+}
+
+// foldCB returns the input's columnar view when Phase A may fold batched:
+// a batchable operator (bare-column arguments, no lazy specs), bootstrap
+// enabled with a weight slab of matching stride, no unresolved refs, and
+// no distributed transport.
+func (o *opAgg) foldCB(bc *batchContext, in output) *colBatch {
+	cb := in.cb
+	if cb == nil || !bc.vec || !o.batchable || o.trials == 0 || len(in.news) == 0 ||
+		bc.exch != nil || cb.slab == nil || cb.trials != o.trials || cb.cols.HasRefs() {
+		return nil
+	}
+	return cb
+}
+
+// foldCertainBatch is Phase A over the columnar view: group bookkeeping
+// stays a sequential pass in arrival order (same keys — the columnar key
+// encoder is byte-identical to the row one). The sequential fold then walks
+// rows in arrival order reading arguments straight from the column banks —
+// the weight slab streams sequentially, exactly like the row path, with the
+// expression layer gone. The parallel fold gathers each group's argument
+// run and replicate-splits it via the batched kernels, mirroring the row
+// path's heavy/light split. Per accumulator slot the floating-point operand
+// sequence is exactly the row path's in both shapes, so results are
+// bit-identical.
+func (o *opAgg) foldCertainBatch(bc *batchContext, news []delta.Row, cb *colBatch) {
+	cols := cb.cols
+	total := len(news)
+	if cap(o.rowGroups) < total {
+		o.rowGroups = make([]*aggGroup, total)
+	}
+	rg := o.rowGroups[:total]
+	for j := range news {
+		src := cb.src(j)
+		o.keyBuf = cols.EncodeKeyInto(o.keyBuf[:0], src, o.node.GroupBy)
+		g, ok := o.groups[string(o.keyBuf)]
+		if !ok {
+			keyVals := make([]rel.Value, len(o.node.GroupBy))
+			for i, c := range o.node.GroupBy {
+				keyVals[i] = cols.Value(c, src)
+			}
+			g = o.newGroup(string(o.keyBuf), keyVals)
+		}
+		g.certain = true
+		g.support++
+		rg[j] = g
+	}
+	if !bc.fanout(cluster.CostFold, total) {
+		bc.cost.Timed(cluster.CostFold, total, 1, func() {
+			for j := range news {
+				src := cb.src(j)
+				r := &news[j]
+				for si := range o.specs {
+					val := 0.0
+					if c := o.batchCols[si]; c >= 0 {
+						v, ok := cols.ArgValue(int(c), src, o.specs[si].fn.AcceptsAny)
+						if !ok {
+							continue // NULL: the row is skipped for this aggregate
+						}
+						val = v
+					}
+					rg[j].sketch[si].Add(val, r.Mult, r.W)
+				}
+			}
+		})
+		return
+	}
+	w := bc.pool.Workers()
+	var batchGroups []*aggGroup
+	groupRows := make(map[*aggGroup][]int32)
+	for j := range news {
+		g := rg[j]
+		if _, seen := groupRows[g]; !seen {
+			batchGroups = append(batchGroups, g)
+		}
+		groupRows[g] = append(groupRows[g], int32(cb.src(j)))
+	}
+	var heavy, light []*aggGroup
+	for _, g := range batchGroups {
+		if len(groupRows[g])*w > total {
+			heavy = append(heavy, g)
+		} else {
+			light = append(light, g)
+		}
+	}
+	bc.cost.Timed(cluster.CostFold, total, w, func() {
+		for _, g := range heavy {
+			o.foldGroupBatch(g, cols, cb.slab, groupRows[g], &o.gather, bc.pool.Map, w)
+		}
+		if len(light) > 0 {
+			bc.pool.MapSized(len(light),
+				func(gi int) int { return len(groupRows[light[gi]]) },
+				func(gi int) {
+					// Light tasks run concurrently, so each gathers into
+					// its own buffers.
+					var sc gatherScratch
+					o.foldGroupBatch(light[gi], cols, cb.slab, groupRows[light[gi]], &sc, nil, 0)
+				})
+		}
+	})
+}
+
+// foldGroupBatch folds one group's source rows: per spec, gather the
+// argument run (NULL rows skipped, exactly like argValue) and fold it in
+// one batched call — replicate-split when pmap is non-nil.
+func (o *opAgg) foldGroupBatch(g *aggGroup, cols *rel.Columns, slab []float64, rows []int32, sc *gatherScratch, pmap func(n int, fn func(i int)), parts int) {
+	for si := range o.specs {
+		sp := &o.specs[si]
+		argCol := o.batchCols[si]
+		sc.reset(len(rows))
+		for _, src := range rows {
+			val := 0.0
+			if argCol >= 0 {
+				v, ok := cols.ArgValue(int(argCol), int(src), sp.fn.AcceptsAny)
+				if !ok {
+					continue // NULL: the row is skipped for this aggregate
+				}
+				val = v
+			}
+			sc.vals = append(sc.vals, val)
+			sc.mults = append(sc.mults, cols.Mult(int(src)))
+			sc.rows = append(sc.rows, src)
+		}
+		if pmap != nil {
+			g.sketch[si].AddBatchPar(sc.vals, sc.mults, slab, sc.rows, pmap, parts)
+		} else {
+			g.sketch[si].AddBatch(sc.vals, sc.mults, slab, sc.rows)
+		}
+	}
+}
+
 func (o *opAgg) step(bc *batchContext) (output, error) {
 	in, err := o.child.step(bc)
 	if err != nil {
@@ -288,7 +468,9 @@ func (o *opAgg) step(bc *batchContext) (output, error) {
 			g.sketch[si].Add(val, r.Mult, r.W)
 		}
 	}
-	if bc.fanout(cluster.CostFold, len(in.news)) && o.trials > 0 {
+	if cb := o.foldCB(bc, in); cb != nil {
+		o.foldCertainBatch(bc, in.news, cb)
+	} else if bc.fanout(cluster.CostFold, len(in.news)) && o.trials > 0 {
 		w := bc.pool.Workers()
 		total := len(in.news)
 		var batchGroups []*aggGroup

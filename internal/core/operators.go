@@ -27,6 +27,33 @@ import (
 type output struct {
 	news []delta.Row
 	unc  []delta.Row
+	// cb, when non-nil, is the columnar view of news (DESIGN.md §14):
+	// news[j] is row cb.src(j) of cb.cols, and its bootstrap weight window
+	// lives at cb.slab[src·trials : (src+1)·trials]. Streamed scans attach
+	// it; SELECT narrows it with a selection vector; every other operator
+	// drops it (the zero value), falling back to the row form downstream.
+	cb *colBatch
+}
+
+// colBatch is the columnar companion of an output's certain rows. The row
+// form stays authoritative — cb is an accelerator view over the same
+// tuples, so operators are free to ignore it.
+type colBatch struct {
+	cols *rel.Columns
+	// sel maps output position to source row: news[j] ↔ cols row sel[j];
+	// nil means the identity (news[j] ↔ row j).
+	sel []int32
+	// slab is the scan's weight arena, stride trials per source row.
+	slab   []float64
+	trials int
+}
+
+// src returns the source-row index of output position j.
+func (cb *colBatch) src(j int) int {
+	if cb.sel == nil {
+		return j
+	}
+	return int(cb.sel[j])
 }
 
 // operator is one online operator (Section 7's "online operator
@@ -71,6 +98,12 @@ type opScan struct {
 	// instead of len(ro.news) > 0, which would diverge across replicas
 	// holding different (possibly empty) partitions of the table.
 	justEmitted bool
+	// wantCB marks that some downstream operator consumes the columnar
+	// companion batch (markColumnar); scans whose plan has no vectorized
+	// consumer skip the columnar build entirely. cbNeed is the column set
+	// those consumers read — the subset view materialises only these banks.
+	wantCB bool
+	cbNeed []bool
 }
 
 type scanSnap struct {
@@ -138,6 +171,15 @@ func (o *opScan) step(bc *batchContext) (output, error) {
 		}
 		o.next += uint64(d.Len())
 		out := output{news: rows}
+		if bc.vec && o.wantCB {
+			// Columnar companion view over just the banks the plan's
+			// consumers read; a storage-decoded delta arrives with a full
+			// cached view and serves the subset for free. Unweighted scans
+			// (Trials 0) attach it with an empty slab — the vectorized
+			// select and probe don't read weights, and the batched
+			// aggregate fold gates itself off a nil slab.
+			out.cb = &colBatch{cols: d.ColumnarSubset(o.cbNeed), slab: slab, trials: trials}
+		}
 		o.record(out)
 		return out, nil
 	}
@@ -185,7 +227,28 @@ type opSelect struct {
 	node          *plan.Select
 	child         operator
 	predUncertain bool
-	state         delta.RowSet // the non-deterministic set U_i
+	// vec is the columnar form of the predicate, compiled at build time for
+	// deterministic predicates inside expr.CompileVec's subset; nil keeps
+	// the row path.
+	vec   *expr.Vectorized
+	state delta.RowSet // the non-deterministic set U_i
+}
+
+// vecBatch returns the input's columnar view when this step may take the
+// vectorized filter: a compiled deterministic predicate, a dense (identity
+// selection) batch with no unresolved refs (EvalCols has no Resolver), no
+// distributed transport (span exchanges must keep the row path's message
+// geometry), and no pending non-deterministic state (promoted state rows
+// would interleave with the filtered news, breaking the selection
+// vector's correspondence — with a deterministic predicate the state is
+// always empty, so this is a pure invariant check).
+func (o *opSelect) vecBatch(bc *batchContext, in output) *colBatch {
+	cb := in.cb
+	if o.vec == nil || cb == nil || !bc.vec || bc.exch != nil ||
+		cb.sel != nil || cb.cols.HasRefs() || o.state.Len() > 0 {
+		return nil
+	}
+	return cb
 }
 
 func (o *opSelect) classify(r delta.Row, bc *batchContext) expr.Tri {
@@ -294,10 +357,31 @@ func (o *opSelect) step(bc *batchContext) (output, error) {
 	}
 	// 2. New certain input rows.
 	if len(in.news) > 0 && !o.predUncertain {
-		pass := o.filterAll(in.news, bc)
-		for i, r := range in.news {
-			if pass[i] {
-				out.news = append(out.news, r)
+		var pass []bool
+		if cb := o.vecBatch(bc, in); cb != nil {
+			// Columnar filter: the predicate evaluates whole column spans
+			// into the selection slice, chunk-parallel (EvalCols is
+			// stateless). Verdict-identical to filterAll — CompileVec pins
+			// the row path's acceptance test — so the appended rows and
+			// their order match the row branch exactly.
+			pass = make([]bool, len(in.news))
+			bc.mapChunks(cluster.CostSelect, len(in.news), func(lo, hi int) {
+				o.vec.EvalCols(cb.cols, lo, hi, pass[lo:hi])
+			})
+			sel := make([]int32, 0, len(in.news))
+			for i, r := range in.news {
+				if pass[i] {
+					out.news = append(out.news, r)
+					sel = append(sel, int32(i))
+				}
+			}
+			out.cb = &colBatch{cols: cb.cols, sel: sel, slab: cb.slab, trials: cb.trials}
+		} else {
+			pass = o.filterAll(in.news, bc)
+			for i, r := range in.news {
+				if pass[i] {
+					out.news = append(out.news, r)
+				}
 			}
 		}
 	} else if len(in.news) > 0 {
@@ -523,14 +607,30 @@ func (o *opJoin) joinRows(l, r delta.Row) delta.Row {
 	return delta.Row{Vals: vals, Mult: l.Mult * r.Mult, W: delta.CombineWeights(l.W, r.W)}
 }
 
+// probeCB returns the probe side's columnar view when the batched key
+// encoder may drive the probe: local execution only (exchange payloads
+// keep the row path) and no unresolved refs (EncodeKeyInto from banks has
+// no Resolver). A narrowed selection is fine — src() maps output position
+// to source row.
+func (o *opJoin) probeCB(bc *batchContext, in output) *colBatch {
+	cb := in.cb
+	if cb == nil || !bc.vec || bc.exch != nil || cb.cols.HasRefs() {
+		return nil
+	}
+	return cb
+}
+
 // probeInto joins each probe-side row against the store and appends the
 // matches to dst in probe order (store rows in insertion order per key —
 // exactly the sequential nested loop's output). Large probe sets fan out
 // over contiguous chunks whose per-chunk buffers are concatenated in chunk
 // order; the store is read-only during the probe, so this is the
 // deterministic shard → ordered merge pattern. probeIsLeft orients the
-// output row (probe ⋈ match vs match ⋈ probe).
-func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, store *delta.HashStore, probeIsLeft bool, bc *batchContext) []delta.Row {
+// output row (probe ⋈ match vs match ⋈ probe). cb, when non-nil, is the
+// probe side's columnar view: keys encode straight from the column banks
+// (byte-identical to the row encoder) and the probe skips the per-row
+// value gather.
+func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, store *delta.HashStore, probeIsLeft bool, bc *batchContext, cb *colBatch) []delta.Row {
 	join := func(p, m delta.Row) delta.Row {
 		if probeIsLeft {
 			return o.joinRows(p, m)
@@ -545,26 +645,14 @@ func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, 
 		if !bc.fanout(cluster.CostJoinProbe, n) {
 			var buf []delta.Row
 			bc.cost.Timed(cluster.CostJoinProbe, n, 1, func() {
-				for i := lo; i < hi; i++ {
-					p := probe[i]
-					for _, m := range store.Probe(p.Vals, probeKeys) {
-						buf = append(buf, join(p, m))
-					}
-				}
+				buf = o.probeRange(buf, probe, probeKeys, store, cb, join, lo, hi)
 			})
 			return buf
 		}
 		outs := make([][]delta.Row, bc.pool.Chunks(n))
 		bc.cost.Timed(cluster.CostJoinProbe, n, bc.pool.Workers(), func() {
 			bc.pool.MapChunks(n, func(c, a, b int) {
-				var buf []delta.Row
-				for i := lo + a; i < lo+b; i++ {
-					p := probe[i]
-					for _, m := range store.Probe(p.Vals, probeKeys) {
-						buf = append(buf, join(p, m))
-					}
-				}
-				outs[c] = buf
+				outs[c] = o.probeRange(nil, probe, probeKeys, store, cb, join, lo+a, lo+b)
 			})
 		})
 		var buf []delta.Row
@@ -593,6 +681,32 @@ func (o *opJoin) probeInto(dst []delta.Row, probe []delta.Row, probeKeys []int, 
 	return append(dst, probeSpan(0, len(probe))...)
 }
 
+// probeRange is probeInto's inner loop over probe rows [lo, hi): the
+// columnar form encodes each key from the banks and probes by bytes, the
+// row form gathers values per row. Both index the same hot map with the
+// same key bytes, so matches and their order are identical.
+func (o *opJoin) probeRange(buf []delta.Row, probe []delta.Row, probeKeys []int, store *delta.HashStore, cb *colBatch, join func(p, m delta.Row) delta.Row, lo, hi int) []delta.Row {
+	if cb != nil {
+		var kb [96]byte
+		key := kb[:0]
+		for i := lo; i < hi; i++ {
+			p := probe[i]
+			key = cb.cols.EncodeKeyInto(key[:0], cb.src(i), probeKeys)
+			for _, m := range store.ProbeKey(key) {
+				buf = append(buf, join(p, m))
+			}
+		}
+		return buf
+	}
+	for i := lo; i < hi; i++ {
+		p := probe[i]
+		for _, m := range store.Probe(p.Vals, probeKeys) {
+			buf = append(buf, join(p, m))
+		}
+	}
+	return buf
+}
+
 // probePartitioned probes a partitioned build store. Exchange geometry is
 // the P hash buckets, not row spans: the replica owning partition b probes
 // all probe rows routed to bucket b against its partition, which yields
@@ -611,7 +725,7 @@ func (o *opJoin) probePartitioned(dst []delta.Row, probe []delta.Row, probeKeys 
 	if bc.exch == nil {
 		// Local execution holds the full table; the plain sequential probe
 		// is the oracle the exchange path must match bit-for-bit.
-		return o.probeInto(dst, probe, probeKeys, store, true, bc)
+		return o.probeInto(dst, probe, probeKeys, store, true, bc, nil)
 	}
 	buckets := make([]int, len(probe))
 	var scratch []byte
@@ -692,6 +806,7 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 		}
 	}
 	partitioned := o.partBuckets > 0
+	lcb := o.probeCB(bc, lo)
 	// Certain deltas (classic delta-join over the certain parts):
 	// ΔL ⋈ C_R(old), C_L(old) ⋈ ΔR, ΔL ⋈ ΔR. Probes run partition-parallel
 	// over the probe side; builds run partition-parallel over shards.
@@ -699,11 +814,11 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 		if partitioned {
 			out.news = o.probePartitioned(out.news, lo.news, lKeys, o.rStore, bc)
 		} else {
-			out.news = o.probeInto(out.news, lo.news, lKeys, o.rStore, true, bc)
+			out.news = o.probeInto(out.news, lo.news, lKeys, o.rStore, true, bc, lcb)
 		}
 	}
 	if o.lStore != nil {
-		out.news = o.probeInto(out.news, ro.news, rKeys, o.lStore, false, bc)
+		out.news = o.probeInto(out.news, ro.news, rKeys, o.lStore, false, bc, nil)
 	}
 	// The transient ΔL⋈ΔR branch must take the same side on every replica:
 	// a partitioned right side emits different (possibly zero) row counts per
@@ -718,7 +833,7 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 		if partitioned {
 			out.news = o.probePartitioned(out.news, lo.news, lKeys, newR, bc)
 		} else {
-			out.news = o.probeInto(out.news, lo.news, lKeys, newR, true, bc)
+			out.news = o.probeInto(out.news, lo.news, lKeys, newR, true, bc, lcb)
 		}
 	}
 	// Fold this batch's certain rows into the stores (rows are cloned: store
@@ -740,17 +855,17 @@ func (o *opJoin) step(bc *batchContext) (output, error) {
 			if partitioned {
 				out.unc = o.probePartitioned(out.unc, lo.unc, lKeys, o.rStore, bc)
 			} else {
-				out.unc = o.probeInto(out.unc, lo.unc, lKeys, o.rStore, true, bc)
+				out.unc = o.probeInto(out.unc, lo.unc, lKeys, o.rStore, true, bc, nil)
 			}
 		}
 	}
 	if len(ro.unc) > 0 && o.lStore != nil {
-		out.unc = o.probeInto(out.unc, ro.unc, rKeys, o.lStore, false, bc)
+		out.unc = o.probeInto(out.unc, ro.unc, rKeys, o.lStore, false, bc, nil)
 	}
 	if len(lo.unc) > 0 && len(ro.unc) > 0 {
 		uncR := delta.NewHashStore(rKeys)
 		uncR.AddBatch(ro.unc, false, bc.par(cluster.CostJoinBuild, len(ro.unc)))
-		out.unc = o.probeInto(out.unc, lo.unc, lKeys, uncR, true, bc)
+		out.unc = o.probeInto(out.unc, lo.unc, lKeys, uncR, true, bc, nil)
 	}
 	o.record(out)
 	return out, nil

@@ -482,6 +482,7 @@ func (c *compiled) buildSharedAggEntry(t *plan.Aggregate, table string, totalRow
 	if err != nil {
 		return nil, err
 	}
+	markColumnar(root, false, nil)
 	en := &sharedAggEntry{
 		id:        nextSharedAggID(),
 		table:     table,

@@ -302,6 +302,14 @@ func (h *HashStore) Probe(probeVals []rel.Value, probeKeys []int) []Row {
 	// a shard with spilled rows materialises the key string.
 	var kb [96]byte
 	buf := rel.EncodeKeyInto(kb[:0], probeVals, probeKeys)
+	return h.ProbeKey(buf)
+}
+
+// ProbeKey is Probe for callers that already hold the encoded key bytes —
+// the columnar join path encodes keys straight from column banks
+// (rel.Columns.EncodeKeyInto) and probes with the buffer, skipping the
+// per-row value gather. Same concurrency contract as Probe.
+func (h *HashStore) ProbeKey(buf []byte) []Row {
 	s := shardOfBytes(buf)
 	sh := &h.shards[s]
 	hot := sh.hot[string(buf)]

@@ -1,0 +1,275 @@
+package rel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomRelation builds a relation exercising every bank shape: typed
+// columns with and without NULLs, an all-NULL column, a mixed-kind column,
+// and (optionally) a ref-bearing column, with non-unit multiplicities.
+func randomRelation(rng *rand.Rand, n int, withRefs bool) *Relation {
+	schema := Schema{
+		{Name: "f", Type: KFloat},
+		{Name: "i", Type: KInt},
+		{Name: "b", Type: KBool},
+		{Name: "s", Type: KString},
+		{Name: "allnull", Type: KFloat},
+		{Name: "mixed", Type: KString},
+	}
+	if withRefs {
+		schema = append(schema, Column{Name: "ref", Type: KFloat})
+	}
+	r := NewRelation(schema)
+	words := []string{"east", "west", "north", "south", ""}
+	for row := 0; row < n; row++ {
+		vals := make([]Value, 0, len(schema))
+		if rng.Intn(8) == 0 {
+			vals = append(vals, Null())
+		} else {
+			f := rng.NormFloat64() * 100
+			switch rng.Intn(6) {
+			case 0:
+				f = math.Trunc(f)
+			case 1:
+				f = math.NaN()
+			case 2:
+				f = math.Inf(1 - 2*rng.Intn(2))
+			}
+			vals = append(vals, Float(f))
+		}
+		if rng.Intn(8) == 0 {
+			vals = append(vals, Null())
+		} else {
+			vals = append(vals, Int(rng.Int63n(2000)-1000))
+		}
+		if rng.Intn(8) == 0 {
+			vals = append(vals, Null())
+		} else {
+			vals = append(vals, Bool(rng.Intn(2) == 0))
+		}
+		if rng.Intn(8) == 0 {
+			vals = append(vals, Null())
+		} else {
+			vals = append(vals, String(words[rng.Intn(len(words))]))
+		}
+		vals = append(vals, Null())
+		switch rng.Intn(3) {
+		case 0:
+			vals = append(vals, Int(int64(row)))
+		case 1:
+			vals = append(vals, String(words[rng.Intn(len(words))]))
+		default:
+			vals = append(vals, Null())
+		}
+		if withRefs {
+			if rng.Intn(2) == 0 {
+				vals = append(vals, NewRef(Ref{Op: 3, Key: "k", Col: 1}))
+			} else {
+				vals = append(vals, Float(rng.Float64()))
+			}
+		}
+		r.AppendMult(float64(1+rng.Intn(3)), vals...)
+	}
+	return r
+}
+
+func sameVal(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	if a.kind == KFloat {
+		return math.Float64bits(a.f) == math.Float64bits(b.f)
+	}
+	return a.Equal(b)
+}
+
+// TestColumnsRoundTrip checks that ToColumns → Value / Relation reconstructs
+// every cell (including NaN payload bits), multiplicity, and NULL exactly.
+func TestColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, withRefs := range []bool{false, true} {
+		r := randomRelation(rng, 200, withRefs)
+		c := r.Columnar()
+		if c.HasRefs() != withRefs {
+			t.Fatalf("HasRefs() = %v, want %v", c.HasRefs(), withRefs)
+		}
+		if c.N != r.Len() {
+			t.Fatalf("N = %d, want %d", c.N, r.Len())
+		}
+		for row, tp := range r.Tuples {
+			if c.Mult(row) != tp.Mult {
+				t.Fatalf("row %d: Mult %v, want %v", row, c.Mult(row), tp.Mult)
+			}
+			for col, want := range tp.Vals {
+				if got := c.Value(col, row); !sameVal(got, want) {
+					t.Fatalf("cell (%d,%d): got %v (%s), want %v (%s)",
+						col, row, got, got.Kind(), want, want.Kind())
+				}
+				if got := c.IsNull(col, row); got != want.IsNull() {
+					t.Fatalf("cell (%d,%d): IsNull %v, want %v", col, row, got, want.IsNull())
+				}
+			}
+		}
+		back := c.Relation()
+		if back.Len() != r.Len() {
+			t.Fatalf("materialised %d rows, want %d", back.Len(), r.Len())
+		}
+		for row := range back.Tuples {
+			if back.Tuples[row].Mult != r.Tuples[row].Mult {
+				t.Fatalf("row %d: materialised mult differs", row)
+			}
+			for col := range back.Tuples[row].Vals {
+				if !sameVal(back.Tuples[row].Vals[col], r.Tuples[row].Vals[col]) {
+					t.Fatalf("cell (%d,%d): materialised value differs", col, row)
+				}
+			}
+		}
+		if back.Columnar() != c {
+			t.Fatalf("materialised relation did not keep the columnar cache")
+		}
+	}
+}
+
+// TestColumnsEncodeKeyParity checks the columnar key encoder is byte-
+// identical to the row encoder over random column subsets.
+func TestColumnsEncodeKeyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := randomRelation(rng, 150, false)
+	c := r.Columnar()
+	var buf []byte
+	for trial := 0; trial < 50; trial++ {
+		cols := rng.Perm(len(r.Schema))[:1+rng.Intn(len(r.Schema))]
+		for row := range r.Tuples {
+			want := EncodeKeyInto(nil, r.Tuples[row].Vals, cols)
+			buf = c.EncodeKeyInto(buf[:0], row, cols)
+			if string(buf) != string(want) {
+				t.Fatalf("row %d cols %v: columnar key %q, row key %q", row, cols, buf, want)
+			}
+		}
+	}
+}
+
+// TestColumnsArgValueParity checks ArgValue against the row-path argument
+// rules for both the numeric and the accept-any (COUNT) conventions.
+func TestColumnsArgValueParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := randomRelation(rng, 200, false)
+	c := r.Columnar()
+	for row, tp := range r.Tuples {
+		for col, v := range tp.Vals {
+			for _, any := range []bool{false, true} {
+				var want float64
+				wantOK := false
+				if !v.IsNull() {
+					switch {
+					case v.IsNumeric():
+						want, wantOK = v.Float(), true
+					case any:
+						want, wantOK = v.NumericKey(), true
+					}
+				}
+				got, ok := c.ArgValue(col, row, any)
+				if ok != wantOK || (ok && math.Float64bits(got) != math.Float64bits(want)) {
+					t.Fatalf("cell (%d,%d) any=%v: ArgValue = (%v,%v), want (%v,%v)",
+						col, row, any, got, ok, want, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarCache checks the cache is reused at constant length and
+// rebuilt after growth.
+func TestColumnarCache(t *testing.T) {
+	r := NewRelation(Schema{{Name: "x", Type: KInt}})
+	r.Append(Int(1))
+	c1 := r.Columnar()
+	if r.Columnar() != c1 {
+		t.Fatalf("cache not reused at constant length")
+	}
+	r.Append(Int(2))
+	c2 := r.Columnar()
+	if c2 == c1 || c2.N != 2 {
+		t.Fatalf("cache not rebuilt after append: %v (N=%d)", c2 == c1, c2.N)
+	}
+}
+
+// TestColumnsMults checks the all-ones multiplicity fast path keeps Mults
+// nil.
+func TestColumnsMults(t *testing.T) {
+	r := NewRelation(Schema{{Name: "x", Type: KInt}})
+	r.Append(Int(1))
+	r.Append(Int(2))
+	if c := r.Columnar(); c.Mults != nil {
+		t.Fatalf("all-ones relation built a Mults slab")
+	}
+}
+
+// TestColumnsSubsetView checks subset views are lossless through every
+// accessor — built banks read columnar, unbuilt banks fall back to the
+// source tuples — and that they never seed a relation's full-view cache.
+func TestColumnsSubsetView(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, withRefs := range []bool{false, true} {
+		r := randomRelation(rng, 150, withRefs)
+		full := ToColumns(r.Schema, r.Tuples)
+		need := make([]bool, len(r.Schema))
+		for col := range need {
+			need[col] = rng.Intn(2) == 0
+		}
+		sub := ToColumnsSubset(r.Schema, r.Tuples, need)
+		for row, tp := range r.Tuples {
+			if sub.Mult(row) != tp.Mult {
+				t.Fatalf("row %d: Mult %v, want %v", row, sub.Mult(row), tp.Mult)
+			}
+			for col, want := range tp.Vals {
+				if got := sub.Value(col, row); !sameVal(got, want) {
+					t.Fatalf("cell (%d,%d) need=%v: got %v, want %v", col, row, need[col], got, want)
+				}
+				if got := sub.IsNull(col, row); got != want.IsNull() {
+					t.Fatalf("cell (%d,%d): IsNull %v, want %v", col, row, got, want.IsNull())
+				}
+				for _, acceptAny := range []bool{false, true} {
+					gv, gok := sub.ArgValue(col, row, acceptAny)
+					wv, wok := full.ArgValue(col, row, acceptAny)
+					if gok != wok || math.Float64bits(gv) != math.Float64bits(wv) {
+						t.Fatalf("cell (%d,%d) acceptAny=%v: ArgValue (%v,%v), want (%v,%v)",
+							col, row, acceptAny, gv, gok, wv, wok)
+					}
+				}
+			}
+		}
+		keyCols := []int{0, 3, 5}
+		for row := range r.Tuples {
+			got := sub.EncodeKeyInto(nil, row, keyCols)
+			want := full.EncodeKeyInto(nil, row, keyCols)
+			if string(got) != string(want) {
+				t.Fatalf("row %d: subset key %q, want %q", row, got, want)
+			}
+		}
+		if back := sub.Relation(); back.Columnar() == sub {
+			t.Fatalf("subset view must not seed the columnar cache")
+		}
+		// ColumnarSubset prefers a cached full view and never caches a
+		// subset build.
+		if r.ColumnarSubset(need) == full {
+			t.Fatalf("no cache seeded yet: expected a fresh subset view")
+		}
+		cached := r.Columnar()
+		if r.ColumnarSubset(need) != cached {
+			t.Fatalf("cached full view should serve any subset")
+		}
+	}
+}
+
+// TestToColumnsSubsetNilNeed checks nil need means a full conversion.
+func TestToColumnsSubsetNilNeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r := randomRelation(rng, 50, false)
+	c := ToColumnsSubset(r.Schema, r.Tuples, nil)
+	if c.built != nil {
+		t.Fatalf("nil need should build every bank")
+	}
+}

@@ -190,10 +190,31 @@ type Table struct {
 	// BlockStarts[i] is the first tuple index of block i; blocks end at
 	// the next start (or the relation end).
 	BlockStarts []int
+	// V2 records whether the file used the "IOL2" tagged-block format;
+	// ColumnarBlocks and CompressedBlocks count its blocks stored with the
+	// columnar codec and, of those, the flate-compressed ones. Catalog
+	// surfaces (the REPL's \tables) report them so operators can tell which
+	// on-disk tables would benefit from a -convert pass.
+	V2               bool
+	ColumnarBlocks   int
+	CompressedBlocks int
 }
 
 // Blocks returns the number of blocks.
 func (t *Table) Blocks() int { return len(t.BlockStarts) }
+
+// Format describes the file layout the table was read from, for catalog
+// listings: "row v1", or "columnar v2 (c/n blocks, m flate)".
+func (t *Table) Format() string {
+	if !t.V2 {
+		return "row v1"
+	}
+	s := fmt.Sprintf("columnar v2 (%d/%d blocks", t.ColumnarBlocks, t.Blocks())
+	if t.CompressedBlocks > 0 {
+		s += fmt.Sprintf(", %d flate", t.CompressedBlocks)
+	}
+	return s + ")"
+}
 
 // Block returns the tuples of block i.
 func (t *Table) Block(i int) []rel.Tuple {
@@ -244,6 +265,7 @@ func Read(r io.Reader) (*Table, error) {
 	}
 	t := &Table{Rel: rel.NewRelation(schema)}
 	if m == magic2 {
+		t.V2 = true
 		return t, readBlocksV2(br, t, schema)
 	}
 	for {
@@ -311,6 +333,10 @@ func readBlocksV2(br *bufio.Reader, t *Table, schema rel.Schema) error {
 			tuples, err := DecodeBlock(body, schema)
 			if err != nil {
 				return fmt.Errorf("storage: columnar block: %w", err)
+			}
+			t.ColumnarBlocks++
+			if body[0]&blockFlagFlate != 0 {
+				t.CompressedBlocks++
 			}
 			t.BlockStarts = append(t.BlockStarts, t.Rel.Len())
 			for _, tp := range tuples {

@@ -257,8 +257,11 @@ type Session struct {
 	tables   map[string]*rel.Relation
 	schemas  map[string]rel.Schema
 	streamed map[string]bool
-	funcs    *expr.Registry
-	aggs     *agg.Registry
+	// formats records the on-disk layout each table was loaded from
+	// (storage.Table.Format()); tables built in memory have no entry.
+	formats map[string]string
+	funcs   *expr.Registry
+	aggs    *agg.Registry
 }
 
 // NewSession returns an empty session with the builtin scalar and aggregate
@@ -268,6 +271,7 @@ func NewSession() *Session {
 		tables:   make(map[string]*rel.Relation),
 		schemas:  make(map[string]rel.Schema),
 		streamed: make(map[string]bool),
+		formats:  make(map[string]string),
 		funcs:    expr.NewRegistry(),
 		aggs:     agg.NewRegistry(),
 	}
@@ -307,6 +311,7 @@ func (s *Session) DropTable(name string) error {
 	delete(s.tables, name)
 	delete(s.schemas, name)
 	delete(s.streamed, name)
+	delete(s.formats, name)
 	return nil
 }
 
@@ -473,7 +478,35 @@ func (s *Session) LoadBlockTable(name string, r io.Reader, streamed bool) (int, 
 	s.schemas[name] = table.Rel.Schema
 	s.tables[name] = table.Rel
 	s.streamed[name] = streamed
+	s.formats[name] = table.Format()
 	return table.Rel.Len(), nil
+}
+
+// TableFormat reports the on-disk layout a table was loaded from ("row v1",
+// "columnar v2 (...)"), or "memory" for tables built with CreateTable/Insert.
+func (s *Session) TableFormat(name string) (string, error) {
+	if _, ok := s.tables[name]; !ok {
+		return "", fmt.Errorf("iolap: unknown table %q", name)
+	}
+	if f, ok := s.formats[name]; ok {
+		return f, nil
+	}
+	return "memory", nil
+}
+
+// WriteBlockTable serialises a table as a block-table file: the columnar v2
+// layout (optionally flate-compressed per block) when columnar is set, the
+// v1 row layout otherwise. blockRows <= 0 uses the storage default. This is
+// the cmd/iolap -convert path: load any source, rewrite it columnar.
+func (s *Session) WriteBlockTable(name string, w io.Writer, blockRows int, columnar, compress bool) error {
+	r, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("iolap: unknown table %q", name)
+	}
+	if columnar {
+		return storage.WriteColumnar(w, r, blockRows, compress)
+	}
+	return storage.Write(w, r, blockRows)
 }
 
 func (s *Session) catalog(streamOverride string) *sql.Catalog {
